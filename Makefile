@@ -1,0 +1,19 @@
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python scripts/run_experiments.py
+	python scripts/generate_report.py REPORT.md
+
+examples:
+	for f in examples/*.py; do python $$f; done
+
+all: test bench report

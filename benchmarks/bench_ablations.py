@@ -1,0 +1,31 @@
+"""Bench ABL: design-choice ablations."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ablations(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("ABL",), kwargs={"trials": 6, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+
+    agm = sorted(
+        (r for r in rows if r["knob"] == "agm_repetitions"), key=lambda r: r["value"]
+    )
+    # More repetitions: monotone bits, success saturating at 1.
+    assert agm[-1]["success"] == 1.0
+    assert agm[-1]["bits"] > agm[0]["bits"]
+
+    col = sorted(
+        (r for r in rows if r["knob"] == "coloring_list_size"), key=lambda r: r["value"]
+    )
+    # One color per vertex cannot color; Θ(log n) lists do.
+    assert col[0]["success"] < 0.5
+    assert col[-1]["success"] == 1.0
+
+    uni = [r for r in rows if r["knob"] == "uniformization"]
+    default = next(r for r in uni if "default" in r["value"])
+    # The default uniformization maximizes surviving edge mass r*t.
+    assert all(default["edges"] >= r["edges"] for r in uni)

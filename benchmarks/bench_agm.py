@@ -1,0 +1,18 @@
+"""Bench UB-SF: the AGM spanning-forest contrast (O(log^3 n) sketches)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_agm_contrast(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("UB-SF",),
+        kwargs={"ns": [16, 32, 64], "trials": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    assert all(row["agm_success"] >= 2 / 3 for row in rows)
+    # Polylog growth: quadrupling n far less than quadruples the bits.
+    assert rows[-1]["agm_bits"] / rows[0]["agm_bits"] < 4.0

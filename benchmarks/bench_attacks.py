@@ -1,0 +1,24 @@
+"""Bench ATK: the attack landscape on D_MM (incl. average-bit accounting)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_attacks(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("ATK",),
+        kwargs={"m": 12, "k": 4, "trials": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = {row["protocol"]: row for row in report.data["rows"]}
+    # Every attack's worst-case cost clears the proof-chain requirement
+    # whenever it succeeds — the lower bound is never violated.
+    for row in rows.values():
+        if row["strict_rate"] > 0.99:
+            assert row["max_bits"] >= report.data["required_bits"]
+    # The low-degree-only attack talks only through the sparse players:
+    # its average bits sit below its max bits.
+    low = next(r for name, r in rows.items() if name.startswith("low-degree-only"))
+    assert low["mean_bits"] <= low["max_bits"]

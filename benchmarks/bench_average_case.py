@@ -1,0 +1,24 @@
+"""Bench AVG: symmetrization profile + Claim 3.1 Chernoff constants."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_average_case(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("AVG",),
+        kwargs={"m": 10, "k": 3, "trials": (4, 32), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    # The paper's 2^(-kr/10) is a valid bound on the exact binomial tail.
+    assert all(row["valid"] for row in data["chernoff"])
+    # Per-player expected costs flatten with more sigma draws.
+    by_protocol: dict = {}
+    for row in data["profiles"]:
+        by_protocol.setdefault(row["protocol"], []).append(row)
+    for rows in by_protocol.values():
+        rows.sort(key=lambda r: r["trials"])
+        assert rows[-1]["relative_spread"] <= rows[0]["relative_spread"] + 0.15

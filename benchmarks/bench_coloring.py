@@ -1,0 +1,19 @@
+"""Bench UB-COL: the (Δ+1)-coloring contrast (O(log^3 n) sketches)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_coloring_contrast(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("UB-COL",),
+        kwargs={"ns": [16, 32, 64], "trials": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    assert all(row["success"] >= 3 / 4 for row in rows)
+    # The symmetry-breaking foil: coloring sketches stay below the
+    # trivial n-bit neighborhood even at these small n.
+    assert rows[-1]["coloring_bits"] < 30 * rows[-1]["trivial_bits"]

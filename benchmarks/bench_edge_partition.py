@@ -1,0 +1,22 @@
+"""Bench EPART: vertex-partition vs edge-partition model power."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_edge_partition(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("EPART",),
+        kwargs={"m": 12, "k": 4, "budgets": [1, 2], "trials": 10, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    numeric = [r for r in rows if isinstance(r["budget"], int)]
+    # The vertex-partition model is at least competitive at every budget.
+    for row in numeric:
+        assert row["vertex_unique_unique"] >= row["edge_unique_unique"] - 0.5
+    # And the degree-threshold attack exists only in the vertex model.
+    structural = [r for r in rows if not isinstance(r["budget"], int)]
+    assert structural and structural[0]["edge_unique_unique"] is None

@@ -1,0 +1,23 @@
+"""Bench F1: regenerate Figure 1 (hard distribution structure)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure1(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("F1",), kwargs={"m": 10, "k": 2, "seed": 0},
+        rounds=3, iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    assert data["n"] == data["N"] - 2 * data["r"] + 2 * data["r"] * data["k"]
+    assert data["union_special_size"] <= data["k"] * data["r"]
+
+
+def test_bench_figure1_larger_instance(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("F1",), kwargs={"m": 24, "k": 6, "seed": 1},
+        rounds=3, iterations=1,
+    )
+    show_report(report)
+    assert report.data["num_unique"] == 2 * report.data["r"] * 6

@@ -1,0 +1,15 @@
+"""Bench F2: regenerate Figure 2 (reduction graph H + decode round-trip)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure2(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("F2",), kwargs={"m": 10, "k": 2, "seed": 0},
+        rounds=3, iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    assert data["h_vertices"] == 2 * data["n"]
+    assert data["lemma41_iff"]
+    assert data["recovered_exactly"]

@@ -1,0 +1,25 @@
+"""Bench GAP: the empirical attack-cost curve vs the bound landscape."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_gap(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("GAP",),
+        kwargs={"ms": [8, 12, 16, 20], "k": 4, "trials": 10, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    for row in rows:
+        # Every measured point sits inside the open gap: above the
+        # (scaled) proof-chain bound, below the trivial n bits.
+        assert row["measured_bits"] >= row["proof_chain_bits"]
+        assert row["measured_bits"] < row["trivial_bits"]
+    # The cost tracks the special-matching scale, not n: across the
+    # sweep it grows by far less than n does.
+    assert rows[-1]["measured_bits"] / rows[0]["measured_bits"] <= (
+        rows[-1]["trivial_bits"] / rows[0]["trivial_bits"] * 2
+    )

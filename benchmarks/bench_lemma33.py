@@ -1,0 +1,21 @@
+"""Bench L33: exact information lower bound (Lemma 3.3)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_lemma33(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("L33",), kwargs={"r": 1, "t": 2, "k": 2},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    assert all(row["holds"] for row in report.data["rows"])
+
+
+def test_bench_lemma33_wider_instance(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("L33",), kwargs={"r": 1, "t": 3, "k": 2},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    assert all(row["holds"] for row in report.data["rows"])

@@ -1,0 +1,21 @@
+"""Bench L34: exact public/unique decomposition (Lemma 3.4)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_lemma34(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("L34",), kwargs={"r": 1, "t": 2, "k": 2},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    assert all(row["holds"] for row in report.data["rows"])
+
+
+def test_bench_lemma34_more_copies(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("L34",), kwargs={"r": 1, "t": 2, "k": 3},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    assert all(row["holds"] for row in report.data["rows"])

@@ -1,0 +1,20 @@
+"""Bench L41: Lemma 4.1, exhaustive + Monte-Carlo."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_lemma41(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("L41",),
+        kwargs={"monte_carlo_trials": 12, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    for pass_name in ("exhaustive", "monte_carlo"):
+        counts = report.data[pass_name]
+        # The iff held on every clean side, and the easy direction on
+        # every side of every MIS.
+        assert counts["iff_holds"] == counts["clean_sides"]
+        assert counts["easy_direction_checks"] == 2 * counts["mis_count"]

@@ -1,0 +1,16 @@
+"""Bench R36: the four relaxations of Remark 3.6."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_remark36(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("R36",), kwargs={"m": 10, "k": 3, "seed": 0},
+        rounds=2, iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    assert data["rs_shared"]
+    assert data["referee_slots"]
+    assert data["biclique_public_only"]
+    assert data["relaxed_output_ok"]

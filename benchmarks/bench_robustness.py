@@ -1,0 +1,21 @@
+"""Bench ROB: protocol robustness across graph families."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_robustness(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("ROB",),
+        kwargs={"n": 25, "trials": 5, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    for row in report.data["rows"]:
+        # AGM and coloring carry w.h.p. guarantees; the adaptive MM/MIS
+        # are heuristically capped — require solid-but-not-perfect.
+        assert row["agm"] >= 0.8
+        assert row["coloring"] >= 0.8
+        assert row["filtering-mm"] >= 0.6
+        assert row["sap-mis"] >= 0.6

@@ -1,0 +1,18 @@
+"""Bench P21: RS-graph parameters vs Proposition 2.1."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_rs_params(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("P21",), kwargs={"ms": [4, 8, 16, 32, 64, 128]},
+        rounds=2, iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    # t scales linearly with N (the t = Θ(N) half of Proposition 2.1)...
+    assert rows[-1]["t"] > rows[0]["t"]
+    assert rows[-1]["t"] >= rows[-1]["n"] / 10
+    # ... and every row's edge count is exactly r * t (uniform partition).
+    for row in rows:
+        assert row["edges"] == row["r"] * row["t"]

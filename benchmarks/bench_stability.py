@@ -1,0 +1,18 @@
+"""Bench STAB: seed stability of the headline conclusions."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_stability(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("STAB",), kwargs={"trials": 8},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    for row in report.data["rows"]:
+        # Each conclusion holds at every seed.
+        assert row["t1b_zero_budget"] <= 0.2
+        assert row["t1b_full_budget"] == 1.0
+        assert row["c31_in_rate"] >= 0.8
+        assert row["c31_below_rate"] <= row["c31_in_rate"] - 0.5
+        assert row["t2_recovery"] == 1.0

@@ -1,0 +1,18 @@
+"""Bench STR: dynamic streams = linear sketches."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_streams(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("STR",),
+        kwargs={"n": 14, "trials": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    assert data["forest_ok"] == data["trials"]
+    assert data["identical"] == data["trials"]
+    assert data["greedy_ok"] == data["trials"]

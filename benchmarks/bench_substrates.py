@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrates the experiments are built on.
+
+Not a paper figure — these time the building blocks (Behrend sets, RS
+construction, D_MM sampling, L0 updates, bit codec) so performance
+regressions in the substrate are caught alongside the reproduction
+numbers.
+"""
+
+import random
+
+from repro.arithmetic import behrend_set
+from repro.lowerbound import sample_dmm, scaled_distribution
+from repro.model import BitWriter, PublicCoins
+from repro.rsgraphs import best_uniform, sum_class_rs_graph
+from repro.sketches import L0Config, L0Sampler
+
+
+def test_bench_behrend_set(benchmark):
+    result = benchmark(behrend_set, 2000)
+    assert len(result) >= 10
+
+
+def test_bench_rs_construction(benchmark):
+    def build():
+        return best_uniform(sum_class_rs_graph(48))
+
+    rs = benchmark(build)
+    assert rs.is_uniform
+
+
+def test_bench_dmm_sampling(benchmark):
+    hard = scaled_distribution(m=16, k=8)
+
+    def sample():
+        inst = sample_dmm(hard, random.Random(7))
+        return inst.graph.num_edges()
+
+    edges = benchmark(sample)
+    assert edges > 0
+
+
+def test_bench_l0_updates(benchmark):
+    config = L0Config.for_universe(1 << 16)
+    coins = PublicCoins(3)
+
+    def run():
+        # A single sampler recovers with constant probability; amplify
+        # over a few independent labels, as the AGM referee does.
+        for rep in range(4):
+            sampler = L0Sampler(config, coins, f"bench/{rep}")
+            for idx in range(0, 1 << 16, 257):
+                sampler.update(idx, 1)
+            got = sampler.recover()
+            if got is not None:
+                return got
+        return None
+
+    got = benchmark(run)
+    assert got is not None
+
+
+def test_bench_bit_codec(benchmark):
+    def roundtrip():
+        writer = BitWriter()
+        for value in range(500):
+            writer.write_varint(value)
+        reader = writer.to_message().reader()
+        return sum(reader.read_varint() for _ in range(500))
+
+    total = benchmark(roundtrip)
+    assert total == sum(range(500))
+
+
+def test_bench_streaming_forest_updates(benchmark):
+    """Throughput of the streaming AGM under a churny stream."""
+    import random as _random
+
+    from repro.graphs import erdos_renyi
+    from repro.streams import StreamingSpanningForest, churn_stream
+
+    rng = _random.Random(5)
+    g = erdos_renyi(20, 0.4, rng)
+    events = churn_stream(g, rng, churn_rounds=2)
+    coins = PublicCoins(55)
+
+    def run():
+        alg = StreamingSpanningForest(20, coins)
+        alg.process(events)
+        return len(alg.result())
+
+    edges = benchmark(run)
+    assert edges >= 0

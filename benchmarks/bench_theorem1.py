@@ -1,0 +1,33 @@
+"""Bench T1: Theorem 1 — the analytic landscape and the empirical sweep."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_theorem1_landscape(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("T1a",), rounds=3, iterations=1
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    largest = rows[-1]
+    # The separation the paper proves, at the largest tabulated n:
+    assert largest["agm_log3"] < largest["theorem1_epsilon_form"]
+    assert largest["theorem1_epsilon_form"] < largest["two_round_sqrt"]
+    assert largest["two_round_sqrt"] < largest["trivial"]
+
+
+def test_bench_theorem1_sweep(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("T1b",),
+        kwargs={"m": 12, "k": 4, "trials": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    # Full budget succeeds; starved budgets do not.
+    assert rows[-1]["strict_rate"] == 1.0
+    assert rows[0]["strict_rate"] < 0.5
+    # Success (weakly) improves with budget overall.
+    assert rows[0]["strict_rate"] <= rows[-1]["strict_rate"]

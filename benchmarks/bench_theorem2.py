@@ -1,0 +1,19 @@
+"""Bench T2: Theorem 2 — MIS inherits the bound through the reduction."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_theorem2(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("T2",),
+        kwargs={"m": 10, "k": 3, "trials": 10, "budgets": [0, 1, 2], "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = {row["protocol"]: row for row in report.data["rows"]}
+    # A correct MIS protocol recovers the special matching exactly, every time.
+    assert rows["full-neighborhood-mis"]["exact_recovery_rate"] == 1.0
+    # Budgeted MIS protocols fail the recovery — Theorem 2's empirical face.
+    assert rows["sampled-edges-mis(0)"]["exact_recovery_rate"] < 0.5

@@ -1,0 +1,22 @@
+"""Bench UB-2R: adaptivity collapses the bound (two-round O(sqrt n))."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_two_round(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("UB-2R",),
+        kwargs={"n": 36, "trials": 6, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    rows = report.data["rows"]
+    mm = [r for r in rows if r["protocol"] == "filtering-mm"]
+    mis = [r for r in rows if r["protocol"] == "luby-mis"]
+    # One round rarely reaches maximality; two or three usually do.
+    assert mm[-1]["maximal_rate"] >= mm[0]["maximal_rate"]
+    assert mm[-1]["maximal_rate"] >= 0.5
+    # Enough Luby phases always reach a true MIS.
+    assert mis[-1]["maximal_rate"] == 1.0

@@ -1,0 +1,27 @@
+"""Bench UB-EXT: edge connectivity + densest subgraph sketches."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_upper_bounds_ext(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("UB-EXT",), kwargs={"trials": 3, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    data = report.data
+    for row in data["connectivity"]:
+        assert row["rate"] >= 2 / 3, row
+    densest = data["densest"][0]
+    assert densest["recovery_rate"] >= 2 / 3
+    assert densest["mean_rel_density_error"] < 0.5
+
+
+def test_bench_triangle_estimator(benchmark, show_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("UB-EXT",), kwargs={"trials": 4, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    show_report(report)
+    tri = report.data["triangles"]
+    assert abs(tri["mean_estimate"] - tri["truth"]) / tri["truth"] < 0.3

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench runs one registered experiment, times it with
+pytest-benchmark, and prints the experiment's table — the same
+rows/series the paper's figures and claims correspond to — so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report generator.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show_report(capsys):
+    """Print an ExperimentReport outside of pytest's capture."""
+
+    def _show(report):
+        with capsys.disabled():
+            print()
+            print(report.render())
+            print()
+
+    return _show

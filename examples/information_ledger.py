@@ -1,0 +1,73 @@
+"""The Section-3 information ledger, computed exactly for one protocol.
+
+Walks the proof of Theorem 1 line by line on a micro hard distribution,
+printing every quantity the lemmas talk about — all computed from the
+fully enumerated joint distribution of (J, indicators, transcript):
+
+    Eq (1):   H(M_{1,J}..M_{k,J} | Σ,J)  = k·r          (uniform coins)
+    Lemma 3.3: I(M;Π|Σ,J) >= E|M^U| − Pr[err]·kr − 1
+    Lemma 3.4: I(M;Π|Σ,J) <= H(Π(P)) + Σ_i I(M_i;Π(U_i)|Σ,J)
+    Lemma 3.5: I(M_i;Π(U_i)|Σ,J) <= H(Π(U_i)) / t
+    Theorem 1: information must fit into (|P| + kN/t)·b
+
+Run:  python examples/information_ledger.py
+"""
+
+from repro.lowerbound import analyze_protocol, micro_distribution
+from repro.model import PublicCoins
+from repro.protocols import FullNeighborhoodMatching, SampledEdgesMatching
+
+
+def ledger(protocol) -> None:
+    hard = micro_distribution(r=1, t=2, k=2)
+    a = analyze_protocol(hard, protocol, PublicCoins(seed=11))
+    kr = hard.k * hard.r
+    print(f"=== {protocol.name} on micro D_MM (r=1, t=2, k=2) ===")
+    print(f"worst-case message length b      : {a.worst_case_bits} bits")
+    print(f"Pr[output not a maximal matching]: {a.error_probability:.4f}")
+    print(f"E|M^U| (special edges output)    : {a.expected_mu:.4f}")
+    print()
+    # Eq (1): the indicators are uniform before seeing the transcript.
+    h_m = 0.0
+    for j in range(hard.t):
+        cond = a.dist.condition(J=j)
+        h_m += a.dist.probability(J=j) * cond.entropy(a.m_vars(j))
+    print(f"Eq(1)  H(M|Σ,J) = {h_m:.4f}   (= k·r = {kr})")
+    print(
+        f"L3.3   I(M;Π|Σ,J) = {a.information_revealed:.4f} "
+        f">= {a.lemma33_implied_bound:.4f} "
+        f"(= E|M^U| − Pr[err]·kr − 1)  [{'OK' if a.lemma33_holds() else 'FAIL'}]"
+    )
+    unique_sum = sum(a.unique_information(i) for i in range(hard.k))
+    print(
+        f"L3.4   {a.lemma34_lhs:.4f} <= H(Π(P)) + Σ I_i = "
+        f"{a.public_entropy:.4f} + {unique_sum:.4f} = {a.lemma34_rhs:.4f}  "
+        f"[{'OK' if a.lemma34_holds() else 'FAIL'}]"
+    )
+    for i in range(hard.k):
+        print(
+            f"L3.5   copy {i}: I(M_{i};Π(U_{i})|Σ,J) = "
+            f"{a.unique_information(i):.4f} <= H(Π(U_{i}))/t = "
+            f"{a.unique_entropy(i) / hard.t:.4f}  "
+            f"[{'OK' if a.lemma35_holds(i) else 'FAIL'}]"
+        )
+    print(
+        f"Thm 1  capacity (|P| + kN/t)·b = {a.capacity_upper_bound:.2f} bits "
+        f">= information {a.information_revealed:.4f}  "
+        f"[{'OK' if a.information_revealed <= a.capacity_upper_bound + 1e-9 else 'FAIL'}]"
+    )
+    print()
+
+
+def main() -> None:
+    ledger(FullNeighborhoodMatching())
+    ledger(SampledEdgesMatching(0))
+    print(
+        "The two ledgers are the theorem in miniature: revealing the\n"
+        "matching costs k·r bits of information (top), and refusing to\n"
+        "pay means erring (bottom) — Lemmas 3.3-3.5 price the exchange."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The Section-4 reduction: turning an MIS protocol into a matching finder.
+
+Samples G ~ D_MM, builds the doubled graph H, runs an MIS sketching
+protocol on H (every player simulating both of its copies), and decodes
+a matching of G via Lemma 4.1 — then does the same with a budget-starved
+MIS protocol to show the recovery collapse that gives Theorem 2.
+
+Run:  python examples/mis_reduction.py
+"""
+
+import random
+
+from repro.lowerbound import (
+    build_reduction_graph,
+    run_reduction,
+    sample_dmm,
+    scaled_distribution,
+)
+from repro.model import PublicCoins
+from repro.protocols import FullNeighborhoodMIS, SampledEdgesMIS
+
+
+def main() -> None:
+    hard = scaled_distribution(m=10, k=3)
+    inst = sample_dmm(hard, random.Random(1))
+    h = build_reduction_graph(inst)
+    print(
+        f"G ~ D_MM: n={hard.n}, m={inst.graph.num_edges()}  ->  "
+        f"H: {h.num_vertices()} vertices, {h.num_edges()} edges "
+        f"({len(inst.public_labels) ** 2} in the public biclique)"
+    )
+    survivors = inst.union_special_matching
+    print(f"hidden special matching: {len(survivors)} surviving edges")
+    print()
+
+    for protocol in (FullNeighborhoodMIS(), SampledEdgesMIS(2), SampledEdgesMIS(0)):
+        run = run_reduction(inst, protocol, PublicCoins(5))
+        print(
+            f"[{protocol.name}] MIS size {len(run.mis_output)}, decode side "
+            f"{run.decode.side} (clean l/r = {run.decode.left_clean}/"
+            f"{run.decode.right_clean}), 2b = {run.per_player_bits} bits, "
+            f"recovered exactly: {run.output_is_exactly_survivors}"
+        )
+    print()
+    print(
+        "A correct MIS protocol recovers the entire special matching, so "
+        "its cost 2b is subject to the Theorem 1 bound: Theorem 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

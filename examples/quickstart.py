@@ -1,0 +1,62 @@
+"""Quickstart: the distributed sketching model in five minutes.
+
+Builds a graph, runs three protocols in the simultaneous-message model
+(a polylog-sketchable problem, the trivial maximal matching protocol,
+and a budgeted protocol that fails), and prints what each one cost.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.graphs import (
+    erdos_renyi,
+    is_maximal_matching,
+    is_spanning_forest,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.protocols import FullNeighborhoodMatching, SampledEdgesMatching
+from repro.sketches import AGMSpanningForest
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n = 32
+    graph = erdos_renyi(n, 0.2, rng)
+    coins = PublicCoins(seed=2020)
+    print(f"input graph: n={n}, m={graph.num_edges()}")
+    print()
+
+    # 1. Spanning forest: polylog-sketchable (AGM), the paper's contrast.
+    run = run_protocol(graph, AGMSpanningForest(), coins)
+    ok = is_spanning_forest(graph, run.output)
+    print(
+        f"AGM spanning forest : {len(run.output)} edges, "
+        f"valid={ok}, max sketch = {run.max_bits} bits"
+    )
+
+    # 2. Maximal matching the trivial way: n bits per player.
+    run = run_protocol(graph, FullNeighborhoodMatching(), coins)
+    ok = is_maximal_matching(graph, run.output)
+    print(
+        f"trivial MM (Θ(n))   : {len(run.output)} edges, "
+        f"maximal={ok}, max sketch = {run.max_bits} bits"
+    )
+
+    # 3. Maximal matching with a starved budget: small sketches fail.
+    run = run_protocol(graph, SampledEdgesMatching(edges_per_vertex=1), coins)
+    ok = is_maximal_matching(graph, run.output)
+    print(
+        f"budgeted MM (1 edge): {len(run.output)} edges, "
+        f"maximal={ok}, max sketch = {run.max_bits} bits"
+    )
+    print()
+    print(
+        "The paper proves the failure in line 3 is unavoidable: any "
+        "one-round protocol needs Ω(n^(1/2-ε))-bit sketches for maximal "
+        "matching or MIS, while line 1's problem needs only polylog."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Generate a full reproduction report (markdown) from live experiment runs.
+
+    python scripts/generate_report.py [output.md]
+
+Runs every registered experiment with its defaults and writes one
+markdown document: table of contents, one section per experiment with
+its rendered tables, and the wall-clock time of each run.  This is the
+automated companion of the hand-annotated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiments import all_experiments
+
+
+def generate(path: Path) -> None:
+    lines: list[str] = [
+        "# Reproduction report (auto-generated)",
+        "",
+        f"Package version {__version__}; regenerate with "
+        "`python scripts/generate_report.py`.",
+        "",
+        "## Contents",
+        "",
+    ]
+    experiments = all_experiments()
+    for exp in experiments:
+        anchor = exp.experiment_id.lower().replace(" ", "-")
+        lines.append(f"* [{exp.experiment_id} — {exp.title}](#{anchor})")
+    lines.append("")
+
+    for exp in experiments:
+        start = time.time()
+        report = exp.run()
+        elapsed = time.time() - start
+        lines.append(f"## {exp.experiment_id}")
+        lines.append("")
+        lines.append(f"**{exp.title}** — paper reference: {exp.paper_reference}")
+        lines.append("")
+        lines.append("```text")
+        lines.extend(report.lines)
+        lines.append("```")
+        lines.append("")
+        lines.append(f"_(ran in {elapsed:.2f}s)_")
+        lines.append("")
+    path.write_text("\n".join(lines))
+    print(f"wrote {path} ({len(lines)} lines, {len(experiments)} experiments)")
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("REPORT.md")
+    generate(target)

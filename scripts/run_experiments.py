@@ -1,0 +1,30 @@
+"""Run every registered experiment and print its report.
+
+This is the reproduction driver behind EXPERIMENTS.md:
+
+    python scripts/run_experiments.py            # all experiments
+    python scripts/run_experiments.py T1b C31    # a subset
+"""
+
+import sys
+import time
+
+from repro.experiments import all_experiments, get_experiment
+
+
+def main(argv: list[str]) -> None:
+    if argv:
+        experiments = [get_experiment(exp_id) for exp_id in argv]
+    else:
+        experiments = all_experiments()
+    for experiment in experiments:
+        start = time.time()
+        report = experiment.run()
+        elapsed = time.time() - start
+        print(report.render())
+        print(f"(ran in {elapsed:.2f}s; paper ref: {experiment.paper_reference})")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

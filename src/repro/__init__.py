@@ -1,0 +1,42 @@
+"""repro — executable reproduction of Assadi–Kol–Oshman (PODC 2020),
+"Lower Bounds for Distributed Sketching of Maximal Matchings and Maximal
+Independent Sets".
+
+The package builds, as running code, every system the paper describes or
+depends on:
+
+* :mod:`repro.graphs` — graph substrate (matchings, independent sets).
+* :mod:`repro.arithmetic` — 3-AP-free sets, Behrend's construction.
+* :mod:`repro.rsgraphs` — Ruzsa–Szemerédi graphs (Proposition 2.1).
+* :mod:`repro.model` — the distributed sketching model with bit-exact
+  message accounting and the broadcast-congested-clique equivalence.
+* :mod:`repro.sketches` — the *upper bound* landscape the paper contrasts
+  against: AGM spanning forest, connectivity, the footnote-1
+  crossing-edge protocol, (Δ+1)-coloring by palette sparsification.
+* :mod:`repro.protocols` — maximal matching / MIS protocols (trivial
+  O(n), b-bounded sampling, Luby, two-round O(sqrt n) adaptive).
+* :mod:`repro.lowerbound` — the hard distribution D_MM (Section 3.1),
+  public/unique players, Claim 3.1, the adversary harness, the analytic
+  bounds of Theorems 1–2, and the MM→MIS reduction of Section 4.
+* :mod:`repro.infotheory` — exact finite information theory (entropy,
+  mutual information, the chain rules of Fact 2.2, Propositions 2.3/2.4)
+  used to check Lemmas 3.3–3.5 on enumerable instances.
+* :mod:`repro.experiments` — the per-figure/claim experiment registry.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arithmetic",
+    "experiments",
+    "graphs",
+    "infotheory",
+    "lowerbound",
+    "model",
+    "protocols",
+    "rsgraphs",
+    "sketches",
+]

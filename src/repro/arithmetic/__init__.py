@@ -1,0 +1,23 @@
+"""3-AP-free (Salem-Spencer) sets and Behrend's construction."""
+
+from .behrend import (
+    behrend_density_bound,
+    behrend_set,
+    behrend_sphere,
+    best_ap_free_set,
+    exhaustive_ap_free_set,
+    greedy_ap_free_set,
+)
+from .progressions import count_three_aps, find_three_ap, is_three_ap_free
+
+__all__ = [
+    "behrend_density_bound",
+    "behrend_set",
+    "behrend_sphere",
+    "best_ap_free_set",
+    "count_three_aps",
+    "exhaustive_ap_free_set",
+    "find_three_ap",
+    "greedy_ap_free_set",
+    "is_three_ap_free",
+]

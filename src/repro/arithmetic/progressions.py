@@ -1,0 +1,49 @@
+"""Detection of 3-term arithmetic progressions.
+
+A set A is 3-AP-free (a Salem–Spencer set) iff there are no distinct
+a, b, c in A with a + c = 2b.  Equivalently: for every pair a != c of the
+same parity sum, the midpoint (a + c) / 2 is not a *third* element of A.
+This property is what makes the Ruzsa–Szemerédi matchings induced
+(Section 2.2 of the paper), so we verify it exactly everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def find_three_ap(values: Iterable[int]) -> tuple[int, int, int] | None:
+    """Return a nontrivial 3-AP (a, b, c) with a + c = 2b, or None.
+
+    O(|A|^2) over pairs, with a set lookup for the midpoint.  Nontrivial
+    means the three elements are distinct (a constant triple a, a, a is a
+    degenerate AP and always present).
+    """
+    elements = sorted(set(values))
+    lookup = set(elements)
+    for i, a in enumerate(elements):
+        for c in elements[i + 1 :]:
+            if (a + c) % 2 == 0:
+                b = (a + c) // 2
+                if b != a and b != c and b in lookup:
+                    return (a, b, c)
+    return None
+
+
+def is_three_ap_free(values: Iterable[int]) -> bool:
+    """True iff the set contains no nontrivial 3-term arithmetic progression."""
+    return find_three_ap(values) is None
+
+
+def count_three_aps(values: Iterable[int]) -> int:
+    """Number of nontrivial 3-APs (a < b < c with a + c = 2b) in the set."""
+    elements = sorted(set(values))
+    lookup = set(elements)
+    count = 0
+    for i, a in enumerate(elements):
+        for c in elements[i + 1 :]:
+            if (a + c) % 2 == 0:
+                b = (a + c) // 2
+                if b != a and b != c and b in lookup:
+                    count += 1
+    return count

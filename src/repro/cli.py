@@ -1,0 +1,156 @@
+"""Command-line interface for the reproduction.
+
+    python -m repro list                 # all experiments
+    python -m repro run T1b [--kw m=16 k=4 trials=10]
+    python -m repro run-all
+    python -m repro attack sampled:2 --m 12 --k 4 --trials 20
+    python -m repro info                 # package + paper summary
+
+Keyword overrides are parsed as ints when possible, floats next, and
+strings otherwise — enough to steer every registered experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .experiments import all_experiments, get_experiment
+
+
+def _parse_value(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_kwargs(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        out[key] = _parse_value(raw)
+    return out
+
+
+def cmd_list() -> int:
+    """Print every registered experiment."""
+    for exp in all_experiments():
+        print(f"{exp.experiment_id:7s} {exp.title}  [{exp.paper_reference}]")
+    return 0
+
+
+def cmd_run(experiment_id: str, overrides: dict, as_json: bool = False) -> int:
+    """Run one experiment with keyword overrides and print its report.
+
+    With ``as_json`` the structured data dict is printed instead of the
+    rendered tables — for downstream plotting pipelines.
+    """
+    experiment = get_experiment(experiment_id)
+    start = time.time()
+    report = experiment.run(**overrides)
+    if as_json:
+        import json
+
+        print(json.dumps(
+            {"experiment": report.experiment_id, "title": report.title,
+             "data": report.data},
+            indent=2, default=str,
+        ))
+        return 0
+    print(report.render())
+    print(f"\n(ran in {time.time() - start:.2f}s)")
+    return 0
+
+
+def cmd_run_all() -> int:
+    """Run every experiment in id order."""
+    for exp in all_experiments():
+        print(exp.run().render())
+        print()
+    return 0
+
+
+def cmd_attack(spec: str, m: int, k: int, trials: int, seed: int) -> int:
+    """Run one named protocol against D_MM and print the attack summary."""
+    from .lowerbound import (
+        attack_with_matching_protocol,
+        attack_with_mis_protocol,
+        proof_chain_bound,
+        scaled_distribution,
+    )
+    from .protocols import is_mis_spec, make_protocol
+
+    hard = scaled_distribution(m=m, k=k)
+    protocol = make_protocol(spec)
+    attack = attack_with_mis_protocol if is_mis_spec(spec) else attack_with_matching_protocol
+    result = attack(hard, protocol, trials=trials, seed=seed)
+    chain = proof_chain_bound(hard)
+    print(f"distribution : m={m}, k={k} -> N={hard.N}, r={hard.r}, t={hard.t}, n={hard.n}")
+    print(f"protocol     : {protocol.name}")
+    print(f"trials       : {trials}")
+    print(f"max bits     : {result.max_bits} (avg {result.mean_bits:.1f}; "
+          f"proof-chain LB {chain.required_bits:.3f})")
+    print(f"strict       : {result.strict_success_rate:.2f}")
+    print(f"relaxed      : {result.relaxed_success_rate:.2f}")
+    print(f"mean UU edges: {result.mean_unique_unique:.2f} (kr/4 = {hard.claim31_threshold})")
+    return 0
+
+
+def cmd_info() -> int:
+    """Print the package / paper summary."""
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of Assadi-Kol-Oshman (PODC 2020): 'Lower Bounds for "
+        "Distributed Sketching of Maximal Matchings and Maximal "
+        "Independent Sets'."
+    )
+    print(f"{len(all_experiments())} registered experiments; see DESIGN.md.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiments")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id")
+    run_parser.add_argument(
+        "--kw", nargs="*", default=[], help="key=value experiment overrides"
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="print structured data as JSON"
+    )
+    sub.add_parser("run-all", help="run every experiment")
+    attack_parser = sub.add_parser("attack", help="attack D_MM with a named protocol")
+    attack_parser.add_argument("spec", help="protocol spec, e.g. sampled:2 or mis-full")
+    attack_parser.add_argument("--m", type=int, default=12)
+    attack_parser.add_argument("--k", type=int, default=4)
+    attack_parser.add_argument("--trials", type=int, default=20)
+    attack_parser.add_argument("--seed", type=int, default=0)
+    sub.add_parser("info", help="package summary")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiment_id, _parse_kwargs(args.kw), args.json)
+    if args.command == "run-all":
+        return cmd_run_all()
+    if args.command == "attack":
+        return cmd_attack(args.spec, args.m, args.k, args.trials, args.seed)
+    if args.command == "info":
+        return cmd_info()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

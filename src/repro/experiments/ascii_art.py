@@ -1,0 +1,82 @@
+"""ASCII renderings of the paper's two illustrations.
+
+Figure 1 shows the hard distribution: per copy G_i, a top block of
+public (shared) vertices and a bottom block of unique vertices carrying
+the special matching M_i.  Figure 2 shows the reduction graph H: two
+copies of G side by side with the public blocks cross-connected.
+
+These renderings are structural, not geometric: blocks are drawn with
+their true sizes from a concrete instance, and the special matching
+edges are listed, so the figure doubles as an instance inspection tool.
+"""
+
+from __future__ import annotations
+
+from ..lowerbound import DMMInstance
+
+
+def _block(label: str, members: list[int], per_line: int = 12) -> list[str]:
+    lines = [f"{label} ({len(members)} vertices)"]
+    for start in range(0, len(members), per_line):
+        chunk = members[start : start + per_line]
+        lines.append("  " + " ".join(f"{v:>3}" for v in chunk))
+    if not members:
+        lines.append("  (none)")
+    return lines
+
+
+def render_figure1(instance: DMMInstance, max_copies: int = 3) -> list[str]:
+    """Figure 1: the copies G_i with public (top) and unique (bottom)
+    blocks and their special matchings (blue thick edges in the paper)."""
+    hard = instance.hard
+    lines = [
+        f"D_MM instance: N={hard.N}, r={hard.r}, t={hard.t}, k={hard.k}, "
+        f"n={hard.n}, j*={instance.j_star}",
+        "",
+    ]
+    lines += _block("PUBLIC block (shared across all copies)",
+                    sorted(instance.public_labels))
+    for i in range(min(hard.k, max_copies)):
+        lines.append("")
+        lines.append(f"--- copy G_{i} "
+                     f"({len(instance.copy_edges(i))} surviving edges) ---")
+        lines += _block(f"UNIQUE block of G_{i}", sorted(instance.unique_labels(i)))
+        special = instance.special_surviving_edges(i)
+        slots = instance.special_slot_pairs(i)
+        rendered = []
+        for u, v in slots:
+            mark = "==" if (min(u, v), max(u, v)) in {
+                (min(a, b), max(a, b)) for a, b in special
+            } else "  (dropped)"
+            rendered.append(f"  {u:>3} {mark} {v:<3}" if mark == "==" else
+                            f"  {u:>3} -- {v:<3}{mark}")
+        lines.append(f"special matching M_{i} (slots of M^RS_j*):")
+        lines += rendered
+    if hard.k > max_copies:
+        lines.append(f"... ({hard.k - max_copies} more copies)")
+    return lines
+
+
+def render_figure2(instance: DMMInstance) -> list[str]:
+    """Figure 2: the reduction graph H — two copies of G with the public
+    blocks joined by the cross biclique (red edges in the paper)."""
+    n = instance.hard.n
+    public = sorted(instance.public_labels)
+    unique = sorted(instance.all_unique_labels)
+    lines = [
+        f"Reduction graph H on 2n = {2 * n} vertices",
+        "",
+        "LEFT copy (labels v)            RIGHT copy (labels v + n)",
+        f"  public:  {len(public)} vertices        public:  {len(public)} vertices",
+        f"  unique:  {len(unique)} vertices        unique:  {len(unique)} vertices",
+        "",
+        f"copy edges   : 2 x {instance.graph.num_edges()}",
+        f"cross biclique (public x public, incl. u = v): {len(public) ** 2} edges",
+        "",
+        "  [P^l] ====== biclique ====== [P^r]",
+        "    |                            |",
+        "  (G edges)                  (G edges)",
+        "    |                            |",
+        "  [U^l]  -- special slots --  [U^r]",
+    ]
+    return lines

@@ -1,0 +1,109 @@
+"""Experiment AVG: the symmetrization behind the average-case extension.
+
+The remark after Theorem 1 extends the lower bound to the per-player
+*average* communication via a symmetrization argument ([50, §3]): under
+the random relabeling sigma, every player's expected message length is
+the same, so max and average costs coincide up to constants.  This
+experiment measures the per-player expected-cost profile for protocols
+with genuinely non-uniform instantaneous costs (degree-dependent
+encodings) and shows the profile flattening as the relabeling is
+averaged over — plus the exact Chernoff accounting behind Claim 3.1's
+probability constant.
+"""
+
+from __future__ import annotations
+
+from ..lowerbound import scaled_distribution
+from ..lowerbound.average_case import max_to_average_gap, symmetrized_cost_profile
+from ..lowerbound.concentration import (
+    claim31_tail_chernoff,
+    claim31_tail_exact,
+    claim31_tail_paper_bound,
+)
+from ..protocols import LowDegreeOnlyMatching, SampledEdgesMatching
+from .registry import ExperimentReport, register
+from .tables import render_table
+
+
+@register("AVG", "Average-case symmetrization + Chernoff constants",
+          "Remark after Theorem 1; Claim 3.1 proof")
+def run_average_case(
+    m: int = 10, k: int = 3, trials: tuple[int, ...] = (4, 32), seed: int = 0
+) -> ExperimentReport:
+    """Measure the symmetrized cost profile and the exact Chernoff table."""
+    hard = scaled_distribution(m=m, k=k)
+    rows = []
+    data_rows = []
+    protocols = [
+        SampledEdgesMatching(2),
+        LowDegreeOnlyMatching(max(2, hard.rs.graph.max_degree() // 2)),
+    ]
+    for protocol in protocols:
+        for t in trials:
+            profile = symmetrized_cost_profile(hard, protocol, trials=t, seed=seed)
+            rows.append(
+                (
+                    protocol.name,
+                    t,
+                    profile.mean,
+                    profile.max,
+                    profile.relative_spread,
+                    max_to_average_gap(profile),
+                )
+            )
+            data_rows.append(
+                {
+                    "protocol": protocol.name,
+                    "trials": t,
+                    "mean_bits": profile.mean,
+                    "max_bits": profile.max,
+                    "relative_spread": profile.relative_spread,
+                    "max_to_average": max_to_average_gap(profile),
+                }
+            )
+    table = render_table(
+        ["protocol", "trials", "E[bits] mean", "E[bits] max", "spread", "max/avg"],
+        rows,
+    )
+
+    chernoff_rows = []
+    for kr in (10, 20, 40, 80):
+        chernoff_rows.append(
+            (
+                kr,
+                claim31_tail_exact(kr),
+                claim31_tail_paper_bound(kr),
+                claim31_tail_chernoff(kr),
+                claim31_tail_exact(kr) <= claim31_tail_paper_bound(kr),
+            )
+        )
+    chernoff_table = render_table(
+        ["k*r", "exact P[<kr/3]", "paper 2^(-kr/10)", "Chernoff e^(-kr/36)", "paper bound valid"],
+        chernoff_rows,
+    )
+    lines = [
+        "Per-player expected cost under random sigma (symmetrization):",
+        "",
+        *table,
+        "",
+        "Claim 3.1's probability constant, checked exactly:",
+        "",
+        *chernoff_table,
+    ]
+    return ExperimentReport(
+        experiment_id="AVG",
+        title="Average-case symmetrization + Chernoff constants",
+        lines=tuple(lines),
+        data={
+            "profiles": data_rows,
+            "chernoff": [
+                {
+                    "kr": kr,
+                    "exact": claim31_tail_exact(kr),
+                    "paper": claim31_tail_paper_bound(kr),
+                    "valid": claim31_tail_exact(kr) <= claim31_tail_paper_bound(kr),
+                }
+                for kr in (10, 20, 40, 80)
+            ],
+        },
+    )

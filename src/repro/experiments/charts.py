@@ -1,0 +1,50 @@
+"""ASCII bar charts for experiment sweeps.
+
+The benches run in terminals; these tiny renderers make the threshold
+shapes (success vs budget, bits vs n) visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .tables import format_value
+
+_FULL = "█"
+_PARTIAL = "▏▎▍▌▋▊▉"
+
+
+def bar(value: float, maximum: float, width: int = 30) -> str:
+    """One horizontal bar scaled so ``maximum`` fills ``width`` cells."""
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    out = _FULL * full
+    if remainder > 1e-9 and full < width:
+        out += _PARTIAL[min(len(_PARTIAL) - 1, int(remainder * (len(_PARTIAL) + 1)))]
+    return out
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 30,
+    maximum: float | None = None,
+) -> list[str]:
+    """An aligned labeled bar chart; one line per value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return []
+    peak = maximum if maximum is not None else max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{str(label).rjust(label_width)} | "
+            f"{bar(value, peak, width).ljust(width)} {format_value(value)}"
+        )
+    return lines

@@ -1,0 +1,105 @@
+"""Experiment XCC: exact communication complexity of micro D_MM.
+
+Brute-forces *every* deterministic protocol (up to message relabeling)
+at each message length and reports the Bayes-optimal success — the one
+kind of statement Monte-Carlo attacks can never make.
+
+The table's punchline is honest and instructive: at micro scale one bit
+per player already achieves success 1.0 on every instance we can
+enumerate, because each graph edge has an endpoint whose whole view
+fits in the message (the "each edge is seen by both endpoints" power of
+§1.2 at its starkest).  The paper's hardness is therefore genuinely a
+*scale* phenomenon — views must outgrow messages for every owner of the
+critical edges simultaneously, which is what D_MM's k copies and the
+direct-sum argument arrange.
+"""
+
+from __future__ import annotations
+
+from ..lowerbound import micro_distribution
+from ..lowerbound.exhaustive import (
+    count_strategies,
+    optimal_success,
+    shared_center_distribution,
+)
+from .registry import ExperimentReport, register
+from .tables import render_table
+
+
+def _c4_distribution():
+    from ..graphs import Graph
+    from ..lowerbound import HardDistribution
+    from ..rsgraphs import RSGraph
+
+    g = Graph(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+    rs = RSGraph(
+        graph=g, matchings=(((0, 1),), ((1, 2),), ((2, 3),), ((0, 3),))
+    )
+    return HardDistribution(rs=rs, k=1)
+
+
+@register("XCC", "Exact communication complexity of micro D_MM",
+          "Theorem 1 (finite quantifier, brute-forced)")
+def run_exact_cc(
+    include_c4: bool = False, max_strategies: int = 2_000_000
+) -> ExperimentReport:
+    """Brute-force the optimal success of all b-bit protocols on micro D_MM."""
+    instances = [
+        ("micro r=1 t=2 k=1", micro_distribution(1, 2, 1)),
+        ("shared-center (1,2)-RS", shared_center_distribution()),
+    ]
+    if include_c4:
+        instances.append(("C4 as (1,4)-RS", _c4_distribution()))
+    rows = []
+    data_rows = []
+    for name, hard in instances:
+        for bits in (0, 1):
+            strategies = count_strategies(hard, bits)
+            if strategies > max_strategies:
+                rows.append((name, bits, strategies, "skipped", "skipped"))
+                continue
+            strict = optimal_success(hard, bits, max_strategies=max_strategies)
+            relaxed = optimal_success(
+                hard, bits, max_strategies=max_strategies, task="relaxed"
+            )
+            rows.append(
+                (
+                    name,
+                    bits,
+                    strict.num_strategies,
+                    strict.optimal_success,
+                    relaxed.optimal_success,
+                )
+            )
+            data_rows.append(
+                {
+                    "instance": name,
+                    "bits": bits,
+                    "strategies": strict.num_strategies,
+                    "optimal": strict.optimal_success,
+                    "optimal_relaxed": relaxed.optimal_success,
+                }
+            )
+    table = render_table(
+        [
+            "instance",
+            "bits/player",
+            "strategies (up to relabeling)",
+            "optimal (strict)",
+            "optimal (relaxed 3.6-iv)",
+        ],
+        rows,
+    )
+    lines = [
+        *table,
+        "",
+        "Reading: at micro scale 1 bit/player suffices — every edge has",
+        "an owner whose whole view fits in one message.  The Ω(√n) bound",
+        "is a scale phenomenon; see the lemma experiments for its engine.",
+    ]
+    return ExperimentReport(
+        experiment_id="XCC",
+        title="Exact communication complexity of micro D_MM",
+        lines=tuple(lines),
+        data={"rows": data_rows},
+    )

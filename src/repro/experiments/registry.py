@@ -1,0 +1,79 @@
+"""Experiment registry: one entry per paper figure / claim / theorem.
+
+Each experiment is a named callable producing an :class:`ExperimentReport`
+— a text rendering (what the bench prints) plus a data dict (what tests
+assert on and EXPERIMENTS.md records).  The registry maps the experiment
+ids of DESIGN.md's per-experiment index to their runners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    lines: tuple[str, ...]
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"[{self.experiment_id}] {self.title}"
+        return "\n".join([header, "=" * len(header), *self.lines])
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata plus its runner."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., ExperimentReport]
+
+    def run(self, **kwargs) -> ExperimentReport:
+        return self.runner(**kwargs)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_reference: str):
+    """Decorator registering an experiment runner under an id."""
+
+    def deco(fn: Callable[..., ExperimentReport]) -> Callable[..., ExperimentReport]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_reference=paper_reference,
+            runner=fn,
+        )
+        return fn
+
+    return deco
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id (KeyError with the known ids)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments, sorted by id."""
+    return [(_REGISTRY[k]) for k in sorted(_REGISTRY)]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by id with keyword overrides."""
+    return get_experiment(experiment_id).run(**kwargs)

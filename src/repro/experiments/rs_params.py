@@ -1,0 +1,79 @@
+"""Experiment P21: measured RS-graph parameters vs Proposition 2.1."""
+
+from __future__ import annotations
+
+from ..rsgraphs import (
+    best_uniform,
+    build_catalog_entry,
+    proposition21_r,
+    proposition21_t,
+    tripartite_rs_graph,
+)
+from .registry import ExperimentReport, register
+from .tables import render_table
+
+
+@register("P21", "RS graph parameters (Proposition 2.1)", "Section 2.2, Prop 2.1")
+def run_rs_params(ms: list[int] | None = None) -> ExperimentReport:
+    """Tabulate achieved (r, t) of the sum-class construction against the
+    asymptotic r = N/e^Θ(sqrt(log N)), t = N/3 of Proposition 2.1."""
+    if ms is None:
+        ms = [4, 8, 16, 32, 64, 128]
+    rows = []
+    data_rows = []
+    for m in ms:
+        _, params = build_catalog_entry(m)
+        r_asym = proposition21_r(params.n)
+        t_asym = proposition21_t(params.n)
+        rows.append(
+            (
+                m,
+                params.n,
+                params.ap_free_size,
+                params.r,
+                params.t,
+                params.num_edges,
+                r_asym,
+                t_asym,
+                params.t / t_asym if t_asym else 0.0,
+            )
+        )
+        data_rows.append(
+            {
+                "m": m,
+                "n": params.n,
+                "ap_free": params.ap_free_size,
+                "r": params.r,
+                "t": params.t,
+                "edges": params.num_edges,
+                "r_asymptotic": r_asym,
+                "t_asymptotic": t_asym,
+            }
+        )
+    table = render_table(
+        ["m", "N", "|A|", "r", "t", "edges", "r~N/e^Θ(√logN)", "t~N/3", "t ratio"],
+        rows,
+    )
+
+    # The original RS78 tripartite construction, for comparison: same
+    # AP-free sets, three matching families, larger N for the same m.
+    tri_rows = []
+    for m in ms[: min(4, len(ms))]:
+        uni = best_uniform(tripartite_rs_graph(m))
+        tri_rows.append(
+            (m, uni.num_vertices, uni.r, uni.num_matchings,
+             uni.r * uni.num_matchings)
+        )
+        data_rows.append(
+            {"m": m, "construction": "tripartite", "n": uni.num_vertices,
+             "r": uni.r, "t": uni.num_matchings,
+             "edges": uni.r * uni.num_matchings}
+        )
+    tri_table = render_table(["m", "N", "r", "t", "edges"], tri_rows)
+    table = [*table, "", "RS78 tripartite construction (same |A|):", "", *tri_table]
+    return ExperimentReport(
+        experiment_id="P21",
+        title="RS graph parameters (Proposition 2.1)",
+        lines=tuple(table),
+        data={"rows": data_rows},
+    )

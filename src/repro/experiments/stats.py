@@ -1,0 +1,61 @@
+"""Statistical helpers for experiment reporting.
+
+Success rates in the Monte-Carlo experiments are binomial proportions;
+the Wilson score interval gives honest uncertainty at the small trial
+counts the benches use (the normal approximation is useless at n=20,
+p near 0 or 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A binomial proportion with its Wilson score interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.point:.2f} [{self.low:.2f}, {self.high:.2f}]"
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> ProportionEstimate:
+    """The Wilson score interval for a binomial proportion.
+
+    ``z`` is the normal quantile (1.96 for 95%).  Valid for any
+    successes in [0, trials]; degenerates gracefully at the endpoints.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+    return ProportionEstimate(
+        successes=successes,
+        trials=trials,
+        low=max(0.0, center - margin),
+        high=min(1.0, center + margin),
+    )
+
+
+def intervals_overlap(a: ProportionEstimate, b: ProportionEstimate) -> bool:
+    """True iff the two Wilson intervals intersect — the conservative
+    'cannot distinguish these success rates' test used by experiment
+    assertions."""
+    return a.low <= b.high and b.low <= a.high

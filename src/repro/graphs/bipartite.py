@@ -1,0 +1,100 @@
+"""Bipartite helpers: bipartition detection and Hopcroft–Karp matching.
+
+The RS-graph constructions are bipartite, so a fast exact bipartite
+maximum matching lets validation experiments run on larger instances than
+the general blossom algorithm in :mod:`repro.graphs.matching`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .graph import Edge, Graph, normalize_edge
+
+
+def bipartition(graph: Graph) -> tuple[set[int], set[int]] | None:
+    """Two-color the graph; return (left, right) or None if an odd cycle exists.
+
+    Isolated vertices are assigned to the left part.
+    """
+    color: dict[int, int] = {}
+    for root in sorted(graph.vertices):
+        if root in color:
+            continue
+        color[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u not in color:
+                    color[u] = 1 - color[v]
+                    queue.append(u)
+                elif color[u] == color[v]:
+                    return None
+    left = {v for v, c in color.items() if c == 0}
+    right = {v for v, c in color.items() if c == 1}
+    return left, right
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """True iff the graph admits a two-coloring (no odd cycle)."""
+    return bipartition(graph) is not None
+
+
+def hopcroft_karp(graph: Graph, left: set[int] | None = None) -> set[Edge]:
+    """Maximum matching of a bipartite graph in O(E sqrt(V)).
+
+    If ``left`` is omitted, a bipartition is computed; raises ValueError on
+    non-bipartite input.
+    """
+    if left is None:
+        parts = bipartition(graph)
+        if parts is None:
+            raise ValueError("hopcroft_karp requires a bipartite graph")
+        left = parts[0]
+
+    INF = float("inf")
+    match_l: dict[int, int | None] = {v: None for v in left}
+    match_r: dict[int, int | None] = {
+        v: None for v in graph.vertices if v not in left
+    }
+    dist: dict[int, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for v in match_l:
+            if match_l[v] is None:
+                dist[v] = 0
+                queue.append(v)
+            else:
+                dist[v] = INF
+        found = False
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                w = match_r[u]
+                if w is None:
+                    found = True
+                elif dist[w] == INF:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(v: int) -> bool:
+        for u in graph.neighbors(v):
+            w = match_r[u]
+            if w is None or (dist.get(w) == dist[v] + 1 and dfs(w)):
+                match_l[v] = u
+                match_r[u] = v
+                return True
+        dist[v] = INF
+        return False
+
+    while bfs():
+        for v in match_l:
+            if match_l[v] is None:
+                dfs(v)
+
+    return {
+        normalize_edge(v, u) for v, u in match_l.items() if u is not None
+    }

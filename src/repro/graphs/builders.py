@@ -1,0 +1,185 @@
+"""Graph builders and generators used by tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from .graph import Edge, Graph
+
+
+def path_graph(n: int) -> Graph:
+    """P_n on vertices 0..n-1."""
+    g = Graph(vertices=range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n on vertices 0..n-1 (requires n >= 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A star: center 0 joined to leaves 1..n_leaves."""
+    g = Graph(vertices=range(n_leaves + 1))
+    for i in range(1, n_leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with left part 0..a-1 and right part a..a+b-1."""
+    g = Graph(vertices=range(a + b))
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def matching_graph(num_edges: int) -> Graph:
+    """A perfect matching on 2*num_edges vertices: edges (2i, 2i+1)."""
+    g = Graph(vertices=range(2 * num_edges))
+    for i in range(num_edges):
+        g.add_edge(2 * i, 2 * i + 1)
+    return g
+
+
+def erdos_renyi(n: int, p: float, rng: random.Random) -> Graph:
+    """G(n, p) on vertices 0..n-1."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must lie in [0, 1]")
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_bipartite(a: int, b: int, p: float, rng: random.Random) -> Graph:
+    """Random bipartite graph with parts 0..a-1 and a..a+b-1."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must lie in [0, 1]")
+    g = Graph(vertices=range(a + b))
+    for u in range(a):
+        for v in range(a, a + b):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> tuple[Graph, list[dict[int, int]]]:
+    """Disjoint union, relabeling each graph into a fresh contiguous block.
+
+    Returns the union graph plus, per input graph, the map from its original
+    labels to the new labels.
+    """
+    union = Graph()
+    offset = 0
+    mappings: list[dict[int, int]] = []
+    for g in graphs:
+        ordered = sorted(g.vertices)
+        mapping = {v: offset + i for i, v in enumerate(ordered)}
+        mappings.append(mapping)
+        for v in ordered:
+            union.add_vertex(mapping[v])
+        for u, v in g.edges():
+            union.add_edge(mapping[u], mapping[v])
+        offset += len(ordered)
+    return union, mappings
+
+
+def subsample_edges(graph: Graph, p: float, rng: random.Random) -> Graph:
+    """Keep each edge independently with probability p (vertices all kept).
+
+    This is exactly step (3a) of the hard distribution D_MM with p = 1/2.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("keep probability must lie in [0, 1]")
+    g = Graph(vertices=graph.vertices)
+    for u, v in graph.edges():
+        if rng.random() < p:
+            g.add_edge(u, v)
+    return g
+
+
+def two_random_components_with_bridge(
+    n_each: int, p: float, rng: random.Random
+) -> tuple[Graph, Edge]:
+    """The motivating example from the paper's introduction.
+
+    Two disjoint G(n_each, p) graphs joined by a single bridge edge (u, v).
+    Returns the combined graph and the bridge, which the footnote-1
+    protocol must recover.
+    """
+    left = erdos_renyi(n_each, p, rng)
+    right = erdos_renyi(n_each, p, rng).relabel(
+        {v: v + n_each for v in range(n_each)}
+    )
+    g = left.union(right)
+    u = rng.randrange(n_each)
+    v = n_each + rng.randrange(n_each)
+    g.add_edge(u, v)
+    return g, (u, v)
+
+
+def connected_components(graph: Graph) -> list[set[int]]:
+    """Connected components as vertex sets (iterative DFS)."""
+    remaining = set(graph.vertices)
+    components: list[set[int]] = []
+    while remaining:
+        root = next(iter(remaining))
+        stack = [root]
+        comp: set[int] = set()
+        while stack:
+            v = stack.pop()
+            if v in comp:
+                continue
+            comp.add(v)
+            stack.extend(u for u in graph.neighbors(v) if u not in comp)
+        components.append(comp)
+        remaining -= comp
+    return components
+
+
+def spanning_forest_edges(graph: Graph) -> set[Edge]:
+    """A spanning forest (one DFS tree per component), as canonical edges."""
+    forest: set[Edge] = set()
+    visited: set[int] = set()
+    for root in sorted(graph.vertices):
+        if root in visited:
+            continue
+        stack = [root]
+        visited.add(root)
+        while stack:
+            v = stack.pop()
+            for u in sorted(graph.neighbors(v)):
+                if u not in visited:
+                    visited.add(u)
+                    forest.add((min(u, v), max(u, v)))
+                    stack.append(u)
+    return forest
+
+
+def is_spanning_forest(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """True iff the edges are a cycle-free subgraph connecting each
+    component of the host graph (i.e., a spanning forest)."""
+    edge_list = list(edges)
+    if not all(graph.has_edge(u, v) for u, v in edge_list):
+        return False
+    forest = Graph(vertices=graph.vertices, edges=edge_list)
+    if forest.num_edges() != len(set(edge_list)):
+        return False
+    # Forest check: |E| = |V| - #components of the forest itself.
+    forest_components = connected_components(forest)
+    if forest.num_edges() != forest.num_vertices() - len(forest_components):
+        return False
+    # Spanning check: same component structure as the host graph.
+    host_components = {frozenset(c) for c in connected_components(graph)}
+    return {frozenset(c) for c in forest_components} == host_components

@@ -1,0 +1,76 @@
+"""Densest subgraph: density, exact-ish baselines, Charikar peeling.
+
+Density of a vertex set S: |E(S)| / |S|.  Charikar's greedy peeling
+(repeatedly remove a minimum-degree vertex, keep the best prefix) is a
+1/2-approximation and the standard baseline the sketching algorithm
+([22, 48] in the paper's intro list) is compared against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .graph import Graph
+
+
+def subgraph_density(graph: Graph, vertices: Iterable[int]) -> float:
+    """|E(S)| / |S| (0 for the empty set)."""
+    chosen = set(vertices)
+    if not chosen:
+        return 0.0
+    edges = sum(
+        1 for u, v in graph.edges() if u in chosen and v in chosen
+    )
+    return edges / len(chosen)
+
+
+def charikar_peeling(graph: Graph) -> tuple[set[int], float]:
+    """Greedy peeling: returns (best vertex set, its density).
+
+    Removes a minimum-degree vertex at each step and remembers the
+    densest intermediate subgraph; a 1/2-approximation of the maximum
+    density (Charikar 2000).
+    """
+    if graph.num_vertices() == 0:
+        return set(), 0.0
+    degree = {v: graph.degree(v) for v in graph.vertices}
+    adj = {v: set(graph.neighbors(v)) for v in graph.vertices}
+    remaining = set(graph.vertices)
+    edges_left = graph.num_edges()
+
+    best_density = edges_left / len(remaining)
+    best_set = set(remaining)
+    order: list[int] = []
+    while len(remaining) > 1:
+        v = min(remaining, key=lambda u: (degree[u], u))
+        remaining.remove(v)
+        order.append(v)
+        edges_left -= degree[v]
+        for u in adj[v]:
+            if u in remaining:
+                degree[u] -= 1
+                adj[u].discard(v)
+        density = edges_left / len(remaining)
+        if density > best_density:
+            best_density = density
+            best_set = set(remaining)
+    return best_set, best_density
+
+
+def exact_densest_subgraph(graph: Graph) -> tuple[set[int], float]:
+    """Exact maximum-density subgraph by exhaustive search.
+
+    Exponential; micro graphs only (tests and validation).
+    """
+    import itertools
+
+    vertices = sorted(graph.vertices)
+    best: set[int] = set()
+    best_density = 0.0
+    for size in range(1, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            density = subgraph_density(graph, subset)
+            if density > best_density:
+                best_density = density
+                best = set(subset)
+    return best, best_density

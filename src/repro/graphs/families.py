@@ -1,0 +1,85 @@
+"""Additional graph families for workload generation.
+
+The hard distribution is the star of this repository, but protocols and
+sketches should also be exercised on the standard benchmark families:
+grids (bounded degree, large diameter), random regular graphs
+(expander-like), and preferential attachment (heavy-tailed degrees — the
+regime where degree-adaptive protocols shine or break).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import Graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols grid; vertex (i, j) is labeled i*cols + j."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = Graph(vertices=range(rows * cols))
+    for i in range(rows):
+        for j in range(cols):
+            v = i * cols + j
+            if j + 1 < cols:
+                g.add_edge(v, v + 1)
+            if i + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def random_regular(n: int, degree: int, rng: random.Random, max_tries: int = 200) -> Graph:
+    """A random d-regular simple graph via the configuration model.
+
+    Pairs up n*d stubs uniformly and rejects pairings with self-loops or
+    multi-edges; retries up to ``max_tries`` times (ample for the small
+    d used here).
+    """
+    if degree < 0 or n < 1:
+        raise ValueError("need n >= 1 and degree >= 0")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be below n")
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok:
+            return Graph(vertices=range(n), edges=edges)
+    raise RuntimeError("configuration model failed; lower the degree")
+
+
+def barabasi_albert(n: int, attach: int, rng: random.Random) -> Graph:
+    """Preferential attachment: each new vertex attaches to ``attach``
+    existing vertices chosen proportionally to degree (plus one)."""
+    if attach < 1 or n < attach + 1:
+        raise ValueError("need n > attach >= 1")
+    g = Graph(vertices=range(n))
+    # Seed clique on the first attach+1 vertices.
+    for u in range(attach + 1):
+        for v in range(u + 1, attach + 1):
+            g.add_edge(u, v)
+    # Repeated-endpoints list for proportional sampling.
+    endpoints: list[int] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    for v in range(attach + 1, n):
+        targets: set[int] = set()
+        while len(targets) < attach:
+            if endpoints and rng.random() < 0.9:
+                targets.add(rng.choice(endpoints))
+            else:
+                targets.add(rng.randrange(v))
+        for u in targets:
+            g.add_edge(v, u)
+            endpoints.extend((v, u))
+    return g

@@ -1,0 +1,196 @@
+"""Core undirected graph data structure used throughout the reproduction.
+
+The distributed sketching model of the paper works with simple undirected
+graphs whose vertices carry integer labels (the player IDs).  We keep the
+representation deliberately small and explicit: a set of vertices plus an
+adjacency map of sets.  Vertices may exist without edges (isolated public
+vertices occur naturally in the hard distribution when all incident edges
+are subsampled away), so the vertex set is tracked independently of the
+adjacency structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+Edge = tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge.
+
+    Raises ValueError on self-loops: the model only considers simple graphs.
+    """
+    if u == v:
+        raise ValueError(f"self-loop ({u}, {v}) not allowed in a simple graph")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph over integer-labelled vertices.
+
+    Mutable during construction; most pipeline stages treat instances as
+    frozen once built.  Equality compares vertex and edge sets.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        vertices: Iterable[int] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._adj: dict[int, set[int]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge {u, v}, creating endpoints as needed (no-op if present)."""
+        normalize_edge(u, v)
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge {u, v}; raises KeyError if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise KeyError(f"edge ({u}, {v}) not in graph") from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> frozenset[int]:
+        return frozenset(self._adj)
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, v: int) -> frozenset[int]:
+        """The neighborhood N(v).  Raises KeyError for unknown vertices."""
+        return frozenset(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ; zero for an empty graph."""
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each undirected edge once, in canonical (u < v) form."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> frozenset[Edge]:
+        return frozenset(self.edges())
+
+    def incident_edges(self, v: int) -> Iterator[Edge]:
+        """Edges incident on v, in canonical form."""
+        for u in self._adj[v]:
+            yield normalize_edge(v, u)
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """The subgraph induced on the given vertex subset."""
+        keep = set(vertices)
+        sub = Graph(vertices=keep & self.vertices)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def is_independent_set(self, vertices: Iterable[int]) -> bool:
+        """True iff no edge of the graph joins two of the given vertices."""
+        chosen = set(vertices)
+        return all(not (self._adj.get(u, set()) & chosen) for u in chosen)
+
+    # ------------------------------------------------------------------
+    # Combination / transformation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def union(self, other: "Graph") -> "Graph":
+        """Union of vertex and edge sets (labels are shared, not renamed)."""
+        g = self.copy()
+        for v in other.vertices:
+            g.add_vertex(v)
+        for u, v in other.edges():
+            g.add_edge(u, v)
+        return g
+
+    def relabel(self, mapping: dict[int, int]) -> "Graph":
+        """Return a copy with every vertex v renamed to mapping[v].
+
+        The mapping must be defined on every vertex and injective on them.
+        """
+        images = [mapping[v] for v in self._adj]
+        if len(set(images)) != len(images):
+            raise ValueError("relabeling map is not injective on the vertices")
+        g = Graph(vertices=images)
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.vertices == other.vertices and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
+        return hash((self.vertices, self.edge_set()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"
+
+
+def graph_from_edges(edges: Iterable[Edge]) -> Graph:
+    """Build a graph containing exactly the endpoints of the given edges."""
+    return Graph(edges=edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n on vertices 0..n-1."""
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def empty_graph(n: int) -> Graph:
+    """The edgeless graph on vertices 0..n-1."""
+    return Graph(vertices=range(n))

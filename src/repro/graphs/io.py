@@ -1,0 +1,54 @@
+"""Graph serialization (JSON-compatible dicts and files).
+
+Downstream reproducibility workflow: experiments can persist the exact
+instances they ran on, and bug reports can attach them.  The format is
+deliberately boring — explicit vertex list (isolated vertices matter in
+this codebase) plus canonical edge list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .graph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """A JSON-compatible description of the graph."""
+    return {
+        "format": FORMAT_VERSION,
+        "vertices": sorted(graph.vertices),
+        "edges": [list(e) for e in sorted(graph.edges())],
+    }
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Inverse of :func:`graph_to_dict`; validates the payload."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format {data.get('format')!r}")
+    vertices = data.get("vertices")
+    edges = data.get("edges")
+    if not isinstance(vertices, list) or not isinstance(edges, list):
+        raise ValueError("graph payload must carry vertex and edge lists")
+    graph = Graph(vertices=vertices)
+    for pair in edges:
+        if len(pair) != 2:
+            raise ValueError(f"malformed edge {pair!r}")
+        u, v = pair
+        if u not in graph or v not in graph:
+            raise ValueError(f"edge {pair!r} references unknown vertex")
+        graph.add_edge(u, v)
+    return graph
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write the graph to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,51 @@
+"""Descriptive graph statistics used in experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import Graph
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    hist: dict[int, int] = {}
+    for v in graph.vertices:
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def mean_degree(graph: Graph) -> float:
+    """2|E| / |V| (0 for the empty graph)."""
+    n = graph.num_vertices()
+    return 2.0 * graph.num_edges() / n if n else 0.0
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-line structural summary of a graph."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    mean_degree: float
+    max_degree: int
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.num_vertices} m={self.num_edges} "
+            f"deg[{self.min_degree}, {self.mean_degree:.2f}, {self.max_degree}]"
+        )
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute the structural summary of a graph."""
+    degrees = [graph.degree(v) for v in graph.vertices]
+    return GraphSummary(
+        num_vertices=graph.num_vertices(),
+        num_edges=graph.num_edges(),
+        min_degree=min(degrees, default=0),
+        mean_degree=mean_degree(graph),
+        max_degree=max(degrees, default=0),
+    )

@@ -1,0 +1,44 @@
+"""Triangle counting and triangle-freeness (exact baselines).
+
+Subgraph counting is on the paper's list of sketchable problems ([2]),
+and triangle-freeness is the problem the earliest lower bounds in this
+model were proven for (Becker et al. [17], related work).  These exact
+routines are the baselines the sketching estimator is validated against.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+
+def count_triangles(graph: Graph) -> int:
+    """Exact triangle count via neighborhood intersection (O(sum deg^2))."""
+    count = 0
+    for u, v in graph.edges():
+        count += len(graph.neighbors(u) & graph.neighbors(v))
+    return count // 3
+
+
+def triangles_through_edge(graph: Graph, u: int, v: int) -> int:
+    """Number of triangles containing the edge {u, v}."""
+    if not graph.has_edge(u, v):
+        return 0
+    return len(graph.neighbors(u) & graph.neighbors(v))
+
+
+def is_triangle_free(graph: Graph) -> bool:
+    """True iff the graph contains no triangle."""
+    for u, v in graph.edges():
+        if graph.neighbors(u) & graph.neighbors(v):
+            return False
+    return True
+
+
+def list_triangles(graph: Graph) -> list[tuple[int, int, int]]:
+    """All triangles as sorted vertex triples (for micro graphs)."""
+    out = []
+    for u, v in graph.edges():
+        for w in graph.neighbors(u) & graph.neighbors(v):
+            if w > v:  # u < v < w exactly once
+                out.append((u, v, w))
+    return out

@@ -1,0 +1,52 @@
+"""Exact finite information theory (Section 2.3 of the paper)."""
+
+from .distribution import JointDistribution, Outcome
+from .divergences import (
+    fano_error_lower_bound,
+    kl_divergence,
+    mutual_information_via_kl,
+    optimal_guess_error,
+    pinsker_bound,
+    product_of_marginals,
+    total_variation,
+)
+from .estimators import (
+    empirical_distribution,
+    miller_madow_entropy,
+    plugin_entropy,
+    plugin_mutual_information,
+)
+from .facts import (
+    FactCheck,
+    fact_22_1_entropy_range,
+    fact_22_2_nonnegative_mi,
+    fact_22_3_conditioning_reduces_entropy,
+    fact_22_4_chain_rule_entropy,
+    fact_22_5_chain_rule_mi,
+    proposition_23,
+    proposition_24,
+)
+
+__all__ = [
+    "FactCheck",
+    "JointDistribution",
+    "Outcome",
+    "empirical_distribution",
+    "fact_22_1_entropy_range",
+    "fact_22_2_nonnegative_mi",
+    "fact_22_3_conditioning_reduces_entropy",
+    "fact_22_4_chain_rule_entropy",
+    "fact_22_5_chain_rule_mi",
+    "fano_error_lower_bound",
+    "kl_divergence",
+    "miller_madow_entropy",
+    "mutual_information_via_kl",
+    "optimal_guess_error",
+    "pinsker_bound",
+    "plugin_entropy",
+    "plugin_mutual_information",
+    "product_of_marginals",
+    "proposition_23",
+    "proposition_24",
+    "total_variation",
+]

@@ -1,0 +1,207 @@
+"""Adversary harness: run real protocols against D_MM and measure failure.
+
+Theorem 1 cannot be "run", but its prediction can: any bounded-sketch
+protocol's success probability on G ~ D_MM stays low until the sketch
+budget reaches the scale of the special matchings.  This harness
+
+* samples instances, runs a protocol in the *original* vertex-player
+  model, and scores the output under both the strict task (valid maximal
+  matching / MIS of G) and the relaxed task of Remark 3.6(iv) (a valid
+  matching with >= k*r/4 unique-unique edges, maximal or not);
+* records the realized communication cost per run, so the sweep plots
+  success against measured bits, not against a nominal knob.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graphs import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_matching,
+)
+from ..model import PublicCoins, SketchProtocol, run_protocol
+from .claims import count_unique_unique
+from .distribution import DMMInstance, sample_dmm
+from .params import HardDistribution
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Aggregated performance of one protocol over sampled instances."""
+
+    protocol_name: str
+    trials: int
+    strict_successes: int
+    relaxed_successes: int
+    mean_unique_unique: float
+    max_bits: int  # worst message over all players and trials
+    mean_bits: float  # mean over trials of the per-player average
+
+    @property
+    def strict_success_rate(self) -> float:
+        return self.strict_successes / self.trials
+
+    @property
+    def relaxed_success_rate(self) -> float:
+        return self.relaxed_successes / self.trials
+
+
+def matching_strict_check(instance: DMMInstance, output) -> bool:
+    """The paper's primary task: a valid maximal matching of G."""
+    return is_maximal_matching(instance.graph, output)
+
+
+def matching_relaxed_check(instance: DMMInstance, output) -> bool:
+    """Remark 3.6(iv): a valid matching with >= k*r/4 unique-unique edges."""
+    if not is_valid_matching(instance.graph, output):
+        return False
+    return count_unique_unique(instance, output) >= instance.hard.claim31_threshold
+
+
+def mis_strict_check(instance: DMMInstance, output) -> bool:
+    """The MIS task: output is a maximal independent set of G."""
+    return is_maximal_independent_set(instance.graph, output)
+
+
+def attack_with_matching_protocol(
+    hard: HardDistribution,
+    protocol: SketchProtocol,
+    trials: int,
+    seed: int = 0,
+) -> AttackResult:
+    """Run a matching protocol against fresh D_MM samples."""
+    return _attack(
+        hard,
+        protocol,
+        trials,
+        seed,
+        strict=matching_strict_check,
+        relaxed=matching_relaxed_check,
+        unique_counter=lambda inst, out: (
+            count_unique_unique(inst, out)
+            if is_valid_matching(inst.graph, out)
+            else 0
+        ),
+    )
+
+
+def attack_with_mis_protocol(
+    hard: HardDistribution,
+    protocol: SketchProtocol,
+    trials: int,
+    seed: int = 0,
+) -> AttackResult:
+    """Run an MIS protocol against fresh D_MM samples (strict task only;
+    the relaxed column then reports strict as well)."""
+    return _attack(
+        hard,
+        protocol,
+        trials,
+        seed,
+        strict=mis_strict_check,
+        relaxed=mis_strict_check,
+        unique_counter=lambda inst, out: 0,
+    )
+
+
+def _attack(hard, protocol, trials, seed, strict, relaxed, unique_counter) -> AttackResult:
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = random.Random(seed)
+    strict_ok = relaxed_ok = 0
+    unique_total = 0.0
+    max_bits = 0
+    bits_total = 0.0
+    for trial in range(trials):
+        instance = sample_dmm(hard, rng)
+        coins = PublicCoins(seed=seed * 7_654_321 + trial)
+        run = run_protocol(instance.graph, protocol, coins, n=hard.n)
+        if strict(instance, run.output):
+            strict_ok += 1
+        if relaxed(instance, run.output):
+            relaxed_ok += 1
+        unique_total += unique_counter(instance, run.output)
+        max_bits = max(max_bits, run.max_bits)
+        bits_total += run.transcript.average_bits
+    return AttackResult(
+        protocol_name=protocol.name,
+        trials=trials,
+        strict_successes=strict_ok,
+        relaxed_successes=relaxed_ok,
+        mean_unique_unique=unique_total / trials,
+        max_bits=max_bits,
+        mean_bits=bits_total / trials,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a budget sweep: knob value -> attack result."""
+
+    knob: int
+    result: AttackResult
+
+
+def budget_sweep(
+    hard: HardDistribution,
+    make_protocol,
+    knobs: list[int],
+    trials: int,
+    seed: int = 0,
+    mis: bool = False,
+) -> list[SweepPoint]:
+    """Sweep a protocol-family knob (e.g. edges per vertex) against D_MM."""
+    attack = attack_with_mis_protocol if mis else attack_with_matching_protocol
+    return [
+        SweepPoint(knob=knob, result=attack(hard, make_protocol(knob), trials, seed))
+        for knob in knobs
+    ]
+
+
+def attack_with_adaptive_matching(
+    hard: HardDistribution,
+    protocol,
+    trials: int,
+    seed: int = 0,
+) -> AttackResult:
+    """Run an *adaptive* (multi-round) matching protocol against D_MM.
+
+    The paper's §1.1 remark — one extra round of sketching collapses the
+    bound to O(sqrt n) — is only meaningful if the adaptive protocol
+    actually beats one-round protocols *on the hard family*; this runner
+    measures exactly that (cost = worst-case total bits per player
+    across rounds).
+    """
+    from ..model import run_adaptive_protocol
+
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = random.Random(seed)
+    strict_ok = relaxed_ok = 0
+    unique_total = 0.0
+    max_bits = 0
+    bits_total = 0.0
+    for trial in range(trials):
+        instance = sample_dmm(hard, rng)
+        coins = PublicCoins(seed=seed * 7_654_321 + trial)
+        run = run_adaptive_protocol(instance.graph, protocol, coins, n=hard.n)
+        if matching_strict_check(instance, run.output):
+            strict_ok += 1
+        if matching_relaxed_check(instance, run.output):
+            relaxed_ok += 1
+        if is_valid_matching(instance.graph, run.output):
+            unique_total += count_unique_unique(instance, run.output)
+        max_bits = max(max_bits, run.max_bits)
+        bits_total += run.max_bits
+    return AttackResult(
+        protocol_name=protocol.name,
+        trials=trials,
+        strict_successes=strict_ok,
+        relaxed_successes=relaxed_ok,
+        mean_unique_unique=unique_total / trials,
+        max_bits=max_bits,
+        mean_bits=bits_total / trials,
+    )

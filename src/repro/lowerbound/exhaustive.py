@@ -1,0 +1,236 @@
+"""Exact optimal success over ALL b-bit protocols (micro instances).
+
+Theorem 1 quantifies over every protocol; on micro instances that
+quantifier is *finite* and can be brute-forced:
+
+* enumerate every (j*, indicator-table) outcome of D_MM (sigma fixed —
+  the lemmas condition on it anyway);
+* every player's strategy is a map from its possible views to b-bit
+  messages; since the Bayes referee only uses the *partition* of views a
+  message map induces, strategies are enumerated as set partitions of
+  the view domain into at most 2^b blocks (an exponential saving with
+  identical optimum);
+* for each joint strategy, play the *Bayes-optimal referee*: per
+  (transcript, j*) group, output the candidate with the highest success
+  mass (Remark 3.6: the referee knows j* and sigma for free);
+* report the maximum success probability over all strategies.
+
+The result is the exact communication-complexity curve of the micro
+problem: optimal success as a function of b.  Experiment XCC tabulates
+it; the numbers are tiny but *complete* — no protocol at that message
+length can beat them, which is the one statement Monte-Carlo attacks
+can never make.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .distribution import (
+    DMMInstance,
+    enumerate_indicator_tables,
+    identity_sigma,
+)
+from .params import HardDistribution
+from .players import vertex_player_views
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Outcome of the brute force at one message length."""
+
+    bits: int
+    optimal_success: float
+    num_strategies: int
+    num_outcomes: int
+
+
+def _player_domains(
+    hard: HardDistribution, outcomes: list[DMMInstance]
+) -> dict[int, list[frozenset[int]]]:
+    """Every view (neighborhood) each player can receive, across outcomes."""
+    domains: dict[int, set[frozenset[int]]] = {v: set() for v in range(hard.n)}
+    for inst in outcomes:
+        for v, view in vertex_player_views(inst).items():
+            domains[v].add(view.neighbors)
+    return {v: sorted(views, key=sorted) for v, views in domains.items()}
+
+
+def _set_partitions(items: list, max_blocks: int) -> list[list[list]]:
+    """All set partitions of ``items`` into at most ``max_blocks`` blocks."""
+    if not items:
+        return [[]]
+    partitions: list[list[list]] = []
+
+    def extend(index: int, blocks: list[list]) -> None:
+        if index == len(items):
+            partitions.append([list(b) for b in blocks])
+            return
+        item = items[index]
+        for block in blocks:
+            block.append(item)
+            extend(index + 1, blocks)
+            block.pop()
+        if len(blocks) < max_blocks:
+            blocks.append([item])
+            extend(index + 1, blocks)
+            blocks.pop()
+
+    extend(0, [])
+    return partitions
+
+
+def count_strategies(hard: HardDistribution, bits: int) -> int:
+    """Number of *effective* joint strategies at ``bits`` per message
+    (set partitions of each player's view domain into <= 2^b blocks)."""
+    sigma = identity_sigma(hard)
+    outcomes = [
+        DMMInstance(hard=hard, j_star=j, sigma=sigma, indicators=table)
+        for j in range(hard.t)
+        for table in enumerate_indicator_tables(hard)
+    ]
+    domains = _player_domains(hard, outcomes)
+    total = 1
+    for views in domains.values():
+        total *= len(_set_partitions(list(views), 2**bits))
+    return total
+
+
+def optimal_success(
+    hard: HardDistribution,
+    bits: int,
+    max_strategies: int = 2_000_000,
+    task: str = "strict",
+) -> ExhaustiveResult:
+    """Maximum success probability of any b-bit protocol on micro D_MM.
+
+    ``task``:
+
+    * ``"strict"`` — the referee must output a valid maximal matching of
+      the realized graph (the paper's primary task);
+    * ``"relaxed"`` — Remark 3.6(iv): a valid matching with at least
+      k·r/4 unique-unique edges, maximal or not.  Candidates are subsets
+      of the special slots (other unique-unique pairs are never edges).
+
+    At micro scale the relaxed optimum equals the *feasibility ceiling*
+    P[enough special edges survive] already at b = 0 — the referee knows
+    (σ, j*) and can bet on the slots without hearing anyone.  Hardness,
+    once more, is a scale phenomenon.
+    """
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    if task not in ("strict", "relaxed"):
+        raise ValueError("task must be 'strict' or 'relaxed'")
+    sigma = identity_sigma(hard)
+    outcomes = [
+        DMMInstance(hard=hard, j_star=j, sigma=sigma, indicators=table)
+        for j in range(hard.t)
+        for table in enumerate_indicator_tables(hard)
+    ]
+    prob = 1.0 / len(outcomes)
+    domains = _player_domains(hard, outcomes)
+    players = sorted(domains)
+
+    per_player_strategies: list[list[dict[frozenset[int], int]]] = []
+    num_strategies = 1
+    for v in players:
+        views = domains[v]
+        strategies = []
+        for partition in _set_partitions(list(views), 2**bits):
+            mapping: dict[frozenset[int], int] = {}
+            for block_index, block in enumerate(partition):
+                for view in block:
+                    mapping[view] = block_index
+            strategies.append(mapping)
+        per_player_strategies.append(strategies)
+        num_strategies *= len(strategies)
+    if num_strategies > max_strategies:
+        raise ValueError(
+            f"{num_strategies} strategies exceed the limit {max_strategies}"
+        )
+
+    # Precompute per-outcome player views and candidate outputs.
+    outcome_views = [
+        {v: view.neighbors for v, view in vertex_player_views(inst).items()}
+        for inst in outcomes
+    ]
+    if task == "strict":
+        from ..graphs import all_maximal_matchings
+
+        outcome_correct = [
+            {frozenset(m) for m in all_maximal_matchings(inst.graph)}
+            for inst in outcomes
+        ]
+    else:
+        # Relaxed task: candidates are subsets of the special slots that
+        # form matchings; correct iff every edge exists (survived) and
+        # the count clears k*r/4.
+        import itertools as _it
+
+        threshold = hard.claim31_threshold
+        outcome_correct = []
+        for inst in outcomes:
+            slots = [
+                pair
+                for i in range(hard.k)
+                for pair in inst.special_slot_pairs(i)
+            ]
+            survivors = inst.union_special_matching
+            correct = set()
+            for size in range(len(slots) + 1):
+                for subset in _it.combinations(slots, size):
+                    if len(subset) < threshold:
+                        continue
+                    if all(e in survivors for e in subset):
+                        correct.add(frozenset(subset))
+            outcome_correct.append(correct)
+
+    best = 0.0
+    for joint in itertools.product(*per_player_strategies):
+        strategy = dict(zip(players, joint))
+        # Group outcomes by (j*, transcript); Bayes referee per group.
+        groups: dict[tuple, list[int]] = {}
+        for idx, inst in enumerate(outcomes):
+            transcript = tuple(
+                strategy[v][outcome_views[idx][v]] for v in players
+            )
+            groups.setdefault((inst.j_star, transcript), []).append(idx)
+        success = 0.0
+        for indices in groups.values():
+            candidates: set[frozenset] = set()
+            for idx in indices:
+                candidates.update(outcome_correct[idx])
+            if not candidates:
+                candidates = {frozenset()}
+            success += prob * max(
+                sum(1 for idx in indices if candidate in outcome_correct[idx])
+                for candidate in candidates
+            )
+        best = max(best, success)
+        if best >= 1.0 - 1e-12:
+            break
+    return ExhaustiveResult(
+        bits=bits,
+        optimal_success=best,
+        num_strategies=num_strategies,
+        num_outcomes=len(outcomes),
+    )
+
+
+def shared_center_distribution() -> HardDistribution:
+    """The smallest instance where one player's view exceeds one bit: a
+    (1, 2)-RS graph on 3 vertices whose two singleton matchings share
+    the center vertex 0 — edges (0,1) and (0,2).
+
+    The center sees two independent edge bits, so zero- and one-bit
+    protocols are genuinely lossy for it; the other two players each
+    share one of the center's edges (the model's edge-sharing at its
+    smallest).
+    """
+    from ..graphs import Graph
+    from ..rsgraphs import RSGraph
+
+    graph = Graph(vertices=range(3), edges=[(0, 1), (0, 2)])
+    rs = RSGraph(graph=graph, matchings=(((0, 1),), ((0, 2),)))
+    return HardDistribution(rs=rs, k=1)

@@ -1,0 +1,78 @@
+"""Serialization of hard-distribution instances.
+
+A :class:`~repro.lowerbound.distribution.DMMInstance` is fully
+determined by (the RS graph, k, j*, sigma, indicator table); persisting
+those reproduces the instance bit-for-bit, including its latent
+variables — which is what the lemma experiments need when re-examining
+a specific draw.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..graphs.io import graph_from_dict, graph_to_dict
+from ..rsgraphs import RSGraph, verify_rs_graph
+from .distribution import DMMInstance
+from .params import HardDistribution
+
+FORMAT_VERSION = 1
+
+
+def rs_graph_to_dict(rs: RSGraph) -> dict:
+    """JSON-compatible description of an RS graph (graph + matchings)."""
+    return {
+        "format": FORMAT_VERSION,
+        "graph": graph_to_dict(rs.graph),
+        "matchings": [[list(e) for e in matching] for matching in rs.matchings],
+    }
+
+
+def rs_graph_from_dict(data: dict) -> RSGraph:
+    """Inverse of :func:`rs_graph_to_dict`; re-verifies the RS property."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported RS graph format {data.get('format')!r}")
+    graph = graph_from_dict(data["graph"])
+    matchings = tuple(
+        tuple(tuple(edge) for edge in matching) for matching in data["matchings"]
+    )
+    rs = RSGraph(graph=graph, matchings=matchings)
+    if not verify_rs_graph(rs.graph, rs.matchings):
+        raise ValueError("payload is not a valid RS graph (partition/induced check failed)")
+    return rs
+
+
+def instance_to_dict(instance: DMMInstance) -> dict:
+    """JSON-compatible description of a D_MM instance (all latents)."""
+    return {
+        "format": FORMAT_VERSION,
+        "rs": rs_graph_to_dict(instance.hard.rs),
+        "k": instance.hard.k,
+        "j_star": instance.j_star,
+        "sigma": list(instance.sigma),
+        "indicators": [list(row) for row in instance.indicators],
+    }
+
+
+def instance_from_dict(data: dict) -> DMMInstance:
+    """Inverse of :func:`instance_to_dict`; runs full validation."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported instance format {data.get('format')!r}")
+    hard = HardDistribution(rs=rs_graph_from_dict(data["rs"]), k=data["k"])
+    return DMMInstance(
+        hard=hard,
+        j_star=data["j_star"],
+        sigma=tuple(data["sigma"]),
+        indicators=tuple(tuple(row) for row in data["indicators"]),
+    )
+
+
+def save_instance(instance: DMMInstance, path: str | Path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)))
+
+
+def load_instance(path: str | Path) -> DMMInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

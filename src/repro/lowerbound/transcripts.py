@@ -1,0 +1,235 @@
+"""Exact joint distributions of (J, M_{i,j}, Π) — Lemmas 3.3-3.5 as code.
+
+For a micro :class:`~repro.lowerbound.params.HardDistribution` (k*t*r
+indicator bits small enough to enumerate) and any concrete protocol with
+fixed public coins (= a deterministic protocol, the averaging step of
+the proof of Theorem 1), this module enumerates every (j*, subsampling
+pattern) outcome, runs all public and unique players, runs the referee,
+and assembles the *exact* joint distribution of
+
+    J, { M_{i,j} }, Π(P), Π(U_1), ..., Π(U_k), O, |M^U_π|
+
+conditioned on a fixed sigma (every lemma in the paper conditions on Σ,
+so fixing it loses nothing).  On that distribution the three lemmas are
+plain numerical statements:
+
+* Lemma 3.3 (quantitative form extracted from its proof):
+      I(M_{1,J},...,M_{k,J} ; Π | J)  >=  E|M^U_π| - Pr[err]·k·r - 1
+* Lemma 3.4:
+      I(M ; Π | J)  <=  H(Π(P)) + Σ_i I(M_{i,J} ; Π(U_i) | J)
+* Lemma 3.5:
+      I(M_{i,J} ; Π(U_i) | J)  <=  H(Π(U_i)) / t
+
+The checkers below compute both sides of each, for any protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..graphs import is_maximal_matching, normalize_edge
+from ..infotheory import JointDistribution
+from ..model import PublicCoins, SketchProtocol
+from .distribution import (
+    DMMInstance,
+    enumerate_indicator_tables,
+    identity_sigma,
+)
+from .params import HardDistribution
+from .players import player_split, vertex_player_views
+
+
+@dataclass(frozen=True)
+class ExactAnalysis:
+    """The exact joint distribution plus derived lemma quantities."""
+
+    hard: HardDistribution
+    dist: JointDistribution
+    expected_mu: float  # E |M^U_π|
+    error_probability: float  # Pr[output is not a valid maximal matching]
+    worst_case_bits: int  # max message length over players and outcomes
+
+    # ------------------------------------------------------------------
+    # Variable-name helpers
+    # ------------------------------------------------------------------
+    def m_vars(self, j: int) -> list[str]:
+        return [f"M_{i}_{j}" for i in range(self.hard.k)]
+
+    @property
+    def transcript_vars(self) -> list[str]:
+        return ["PiP"] + [f"PiU_{i}" for i in range(self.hard.k)]
+
+    # ------------------------------------------------------------------
+    # Lemma 3.3
+    # ------------------------------------------------------------------
+    @cached_property
+    def information_revealed(self) -> float:
+        """I(M_{1,J},...,M_{k,J} ; Π | Σ, J), computed as E_j of the
+        conditional mutual information given J = j."""
+        total = 0.0
+        for j in range(self.hard.t):
+            p_j = self.dist.probability(J=j)
+            if p_j <= 0:
+                continue
+            cond = self.dist.condition(J=j)
+            total += p_j * cond.mutual_information(
+                self.m_vars(j), self.transcript_vars
+            )
+        return total
+
+    @property
+    def lemma33_implied_bound(self) -> float:
+        """The proof's quantitative RHS: E|M^U| - Pr[err]·k·r - 1."""
+        kr = self.hard.k * self.hard.r
+        return self.expected_mu - self.error_probability * kr - 1.0
+
+    def lemma33_holds(self) -> bool:
+        return self.information_revealed >= self.lemma33_implied_bound - 1e-6
+
+    # ------------------------------------------------------------------
+    # Lemma 3.4
+    # ------------------------------------------------------------------
+    @cached_property
+    def public_entropy(self) -> float:
+        """H(Π(P))."""
+        return self.dist.entropy(["PiP"])
+
+    def unique_information(self, i: int) -> float:
+        """I(M_{i,J} ; Π(U_i) | Σ, J)."""
+        total = 0.0
+        for j in range(self.hard.t):
+            p_j = self.dist.probability(J=j)
+            if p_j <= 0:
+                continue
+            cond = self.dist.condition(J=j)
+            total += p_j * cond.mutual_information([f"M_{i}_{j}"], [f"PiU_{i}"])
+        return total
+
+    @property
+    def lemma34_lhs(self) -> float:
+        return self.information_revealed
+
+    @cached_property
+    def lemma34_rhs(self) -> float:
+        return self.public_entropy + sum(
+            self.unique_information(i) for i in range(self.hard.k)
+        )
+
+    def lemma34_holds(self) -> bool:
+        return self.lemma34_lhs <= self.lemma34_rhs + 1e-6
+
+    # ------------------------------------------------------------------
+    # Lemma 3.5
+    # ------------------------------------------------------------------
+    def unique_entropy(self, i: int) -> float:
+        """H(Π(U_i))."""
+        return self.dist.entropy([f"PiU_{i}"])
+
+    def lemma35_holds(self, i: int) -> bool:
+        return (
+            self.unique_information(i)
+            <= self.unique_entropy(i) / self.hard.t + 1e-6
+        )
+
+    def lemma35_all_hold(self) -> bool:
+        return all(self.lemma35_holds(i) for i in range(self.hard.k))
+
+    # ------------------------------------------------------------------
+    # Theorem 1 algebra on the measured quantities
+    # ------------------------------------------------------------------
+    @property
+    def capacity_upper_bound(self) -> float:
+        """The proof's capacity bound |P|·b + (k·N/t)·b at the protocol's
+        measured worst-case message length b."""
+        hd = self.hard
+        return self.worst_case_bits * (hd.num_public + hd.k * hd.N / hd.t)
+
+
+def analyze_protocol(
+    hard: HardDistribution,
+    protocol: SketchProtocol,
+    coins: PublicCoins,
+    sigma: tuple[int, ...] | None = None,
+) -> ExactAnalysis:
+    """Enumerate the joint distribution of one deterministic protocol.
+
+    ``coins`` fixes the public randomness (Yao averaging); ``sigma``
+    defaults to the identity permutation.
+    """
+    if sigma is None:
+        sigma = identity_sigma(hard)
+    k, t, r, n = hard.k, hard.t, hard.r, hard.n
+
+    m_names = [f"M_{i}_{j}" for i in range(k) for j in range(t)]
+    names = ["J", *m_names, "PiP", *[f"PiU_{i}" for i in range(k)], "O", "MU"]
+
+    pmf: dict[tuple, float] = {}
+    expected_mu = 0.0
+    error_prob = 0.0
+    worst_bits = 0
+    tables = list(enumerate_indicator_tables(hard))
+    prob = 1.0 / (t * len(tables))
+
+    for j_star in range(t):
+        for table in tables:
+            instance = DMMInstance(
+                hard=hard, j_star=j_star, sigma=sigma, indicators=table
+            )
+            split = player_split(instance)
+            pi_p = tuple(
+                protocol.sketch(split.public[label], coins).bits
+                for label in sorted(split.public)
+            )
+            pi_u = []
+            for i in range(k):
+                pi_u.append(
+                    tuple(
+                        protocol.sketch(split.unique[(i, v)], coins).bits
+                        for v in sorted(
+                            rs_v for (ci, rs_v) in split.unique if ci == i
+                        )
+                    )
+                )
+            worst_bits = max(
+                worst_bits,
+                max((len(b) for b in pi_p), default=0),
+                max((len(b) for group in pi_u for b in group), default=0),
+            )
+
+            # Referee: the ordinary-model players (Remark: extra copies of
+            # public vertices are ignored), plus free (sigma, j*).
+            views = vertex_player_views(instance)
+            sketches = {
+                v: protocol.sketch(view, coins) for v, view in views.items()
+            }
+            output = protocol.decode(n, sketches, coins)
+            output_pairs = {normalize_edge(u, v) for u, v in output}
+            slots = set()
+            for i in range(k):
+                slots.update(instance.special_slot_pairs(i))
+            mu = len(output_pairs & slots)
+            correct = is_maximal_matching(instance.graph, output_pairs)
+
+            expected_mu += prob * mu
+            if not correct:
+                error_prob += prob
+
+            outcome = (
+                j_star,
+                *(table[i][j] for i in range(k) for j in range(t)),
+                pi_p,
+                *pi_u,
+                1 if correct else 0,
+                mu,
+            )
+            pmf[outcome] = pmf.get(outcome, 0.0) + prob
+
+    dist = JointDistribution(names, pmf)
+    return ExactAnalysis(
+        hard=hard,
+        dist=dist,
+        expected_mu=expected_mu,
+        error_probability=error_prob,
+        worst_case_bits=worst_bits,
+    )

@@ -1,0 +1,70 @@
+"""Yao's averaging step, executable (proof of Theorem 1, first line).
+
+"By an averaging argument, we can fix the randomness of the protocol
+and obtain a deterministic protocol with the same worst-case length and
+probability of success" — over a *fixed input distribution*, some coin
+fixing does at least as well as the random coins on average.
+
+:func:`best_coin_fixing` searches candidate seeds for a protocol over
+D_MM and returns the per-seed success rates.  The test suite asserts the
+averaging inequality max_seed >= mean_seed on every run — which is the
+entire content of the step (the paper then analyzes the fixed-coin
+protocol; so does :mod:`repro.lowerbound.transcripts`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..model import PublicCoins, SketchProtocol, run_protocol
+from .adversary import matching_strict_check
+from .distribution import sample_dmm
+from .params import HardDistribution
+
+
+@dataclass(frozen=True)
+class CoinFixing:
+    """Success rates of a protocol per fixed public-coin seed."""
+
+    per_seed: dict[int, float]
+    trials: int
+
+    @property
+    def average(self) -> float:
+        return sum(self.per_seed.values()) / len(self.per_seed)
+
+    @property
+    def best_seed(self) -> int:
+        return max(self.per_seed, key=lambda s: (self.per_seed[s], -s))
+
+    @property
+    def best(self) -> float:
+        return self.per_seed[self.best_seed]
+
+
+def best_coin_fixing(
+    hard: HardDistribution,
+    protocol: SketchProtocol,
+    seeds: list[int],
+    trials: int,
+    instance_seed: int = 0,
+    check=matching_strict_check,
+) -> CoinFixing:
+    """Evaluate the protocol under each fixed coin seed on the *same*
+    sampled inputs (shared inputs isolate the coins' contribution)."""
+    if not seeds:
+        raise ValueError("need at least one candidate seed")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = random.Random(instance_seed)
+    instances = [sample_dmm(hard, rng) for _ in range(trials)]
+    per_seed: dict[int, float] = {}
+    for seed in seeds:
+        coins = PublicCoins(seed=seed)
+        ok = sum(
+            check(inst, run_protocol(inst.graph, protocol, coins, n=hard.n).output)
+            for inst in instances
+        )
+        per_seed[seed] = ok / trials
+    return CoinFixing(per_seed=per_seed, trials=trials)

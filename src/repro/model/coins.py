@@ -1,0 +1,45 @@
+"""Public coins: the shared random string of the sketching model.
+
+All players and the referee see the same random string; player-private
+randomness is *not* part of the model (Section 2.1).  We realize the
+shared string as a seed from which any party can deterministically derive
+named random streams — two players deriving the stream "l0/level/3" get
+bit-identical randomness, which is exactly the public-coin semantics.
+
+Derivation uses SHA-256 of (seed, label), not Python's salted ``hash``,
+so streams are stable across processes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PublicCoins:
+    """A handle on the shared random string."""
+
+    seed: int
+
+    def rng(self, label: str) -> random.Random:
+        """A deterministic random stream named by ``label``.
+
+        Every party calling ``coins.rng("x")`` receives an identical,
+        freshly-seeded generator; distinct labels give independent-looking
+        streams.
+        """
+        digest = hashlib.sha256(f"{self.seed}/{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def uniform_int(self, label: str, upper: int) -> int:
+        """A single shared uniform draw from {0, ..., upper-1}."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        return self.rng(label).randrange(upper)
+
+    def child(self, label: str) -> "PublicCoins":
+        """A derived coin namespace (e.g. per protocol instance)."""
+        digest = hashlib.sha256(f"{self.seed}/child/{label}".encode()).digest()
+        return PublicCoins(seed=int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,156 @@
+"""Execution harness: run a protocol on a graph and account every bit.
+
+The runner is the trusted boundary of the model: it builds each player's
+restricted view, invokes the protocol's sketch function per player, hands
+only the serialized messages to the referee, and records per-player and
+aggregate communication costs.  The paper's cost measure is the
+*worst-case message length* (max over players); the average is also
+reported because Theorem 1's extension ("the average communication per
+player is Ω(sqrt n / e^Θ(sqrt(log n)))") refers to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..graphs import Graph
+from .coins import PublicCoins
+from .messages import Message
+from .protocol import AdaptiveProtocol, SketchProtocol
+from .views import VertexView, views_of
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """All messages of one protocol execution, with cost accounting."""
+
+    sketches: dict[int, Message]
+
+    @property
+    def max_bits(self) -> int:
+        """Worst-case message length — the paper's communication cost."""
+        return max((m.num_bits for m in self.sketches.values()), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(m.num_bits for m in self.sketches.values())
+
+    @property
+    def average_bits(self) -> float:
+        if not self.sketches:
+            return 0.0
+        return self.total_bits / len(self.sketches)
+
+
+@dataclass(frozen=True)
+class ProtocolRun:
+    """Result of one execution: referee output plus the transcript."""
+
+    output: Any
+    transcript: Transcript
+
+    @property
+    def max_bits(self) -> int:
+        return self.transcript.max_bits
+
+    @property
+    def average_bits(self) -> float:
+        return self.transcript.average_bits
+
+
+def run_protocol(
+    graph: Graph,
+    protocol: SketchProtocol,
+    coins: PublicCoins,
+    n: int | None = None,
+    views: dict[int, VertexView] | None = None,
+) -> ProtocolRun:
+    """Execute a one-round protocol.
+
+    ``views`` may be supplied to run under a non-standard player model
+    (e.g. the public/unique player split of Section 3.1); by default each
+    vertex of the graph is one player with its full neighborhood.
+    """
+    if views is None:
+        views = views_of(graph, n=n)
+    if n is None:
+        n = graph.num_vertices()
+    sketches = {v: protocol.sketch(view, coins) for v, view in views.items()}
+    transcript = Transcript(sketches=sketches)
+    output = protocol.decode(n, sketches, coins)
+    return ProtocolRun(output=output, transcript=transcript)
+
+
+@dataclass(frozen=True)
+class AdaptiveRun:
+    """Result of a multi-round execution, with per-round transcripts."""
+
+    output: Any
+    transcripts: tuple[Transcript, ...]
+    broadcasts: tuple[Any, ...]
+
+    @property
+    def max_bits_per_round(self) -> tuple[int, ...]:
+        return tuple(t.max_bits for t in self.transcripts)
+
+    @property
+    def max_bits(self) -> int:
+        """Worst-case *total* bits sent by any single player across rounds."""
+        totals: dict[int, int] = {}
+        for t in self.transcripts:
+            for v, m in t.sketches.items():
+                totals[v] = totals.get(v, 0) + m.num_bits
+        return max(totals.values(), default=0)
+
+
+def run_adaptive_protocol(
+    graph: Graph,
+    protocol: AdaptiveProtocol,
+    coins: PublicCoins,
+    n: int | None = None,
+) -> AdaptiveRun:
+    """Execute an adaptive (multi-round) protocol."""
+    views = views_of(graph, n=n)
+    if n is None:
+        n = graph.num_vertices()
+    broadcasts: list[Any] = []
+    transcripts: list[Transcript] = []
+    result: Any = None
+    for round_index in range(protocol.num_rounds):
+        sketches = {
+            v: protocol.sketch(view, coins, round_index, broadcasts)
+            for v, view in views.items()
+        }
+        transcripts.append(Transcript(sketches=sketches))
+        result = protocol.referee_round(n, round_index, sketches, coins, broadcasts)
+        if round_index < protocol.num_rounds - 1:
+            broadcasts.append(result)
+    return AdaptiveRun(
+        output=result, transcripts=tuple(transcripts), broadcasts=tuple(broadcasts)
+    )
+
+
+def estimate_success_probability(
+    make_graph,
+    protocol: SketchProtocol,
+    check,
+    trials: int,
+    base_seed: int = 0,
+) -> float:
+    """Monte-Carlo success probability of a protocol over a graph source.
+
+    ``make_graph(trial_index)`` produces the (possibly random) input and
+    ``check(graph, output)`` decides correctness.  Fresh public coins per
+    trial, derived deterministically from ``base_seed``.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    successes = 0
+    for trial in range(trials):
+        graph = make_graph(trial)
+        coins = PublicCoins(seed=base_seed * 1_000_003 + trial)
+        run = run_protocol(graph, protocol, coins)
+        if check(graph, run.output):
+            successes += 1
+    return successes / trials

@@ -1,0 +1,59 @@
+"""Player-side views of the input graph.
+
+Section 2.1: the player at vertex u knows the total number of vertices n,
+its own ID, and the set of neighbor IDs N(u) — nothing else.  Every edge
+is therefore seen by exactly two players.  ``VertexView`` is the *only*
+graph information a protocol's sketch function receives; the runner
+constructs the views, so a protocol cannot accidentally peek at the rest
+of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs import Edge, Graph, normalize_edge
+
+
+@dataclass(frozen=True)
+class VertexView:
+    """What a single player sees: (n, own ID, neighborhood)."""
+
+    n: int
+    vertex: int
+    neighbors: frozenset[int]
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def incident_edges(self) -> list[Edge]:
+        """The edges this player knows, in canonical sorted order."""
+        return sorted(normalize_edge(self.vertex, u) for u in self.neighbors)
+
+
+def views_of(graph: Graph, n: int | None = None) -> dict[int, VertexView]:
+    """Build every player's view of the graph.
+
+    ``n`` defaults to the number of vertices; pass it explicitly when
+    vertex labels are not 0..n-1 contiguous (the hard distribution labels
+    vertices by an arbitrary permutation of [n]).
+    """
+    if n is None:
+        n = graph.num_vertices()
+    return {
+        v: VertexView(n=n, vertex=v, neighbors=graph.neighbors(v))
+        for v in graph.vertices
+    }
+
+
+def restricted_view(graph: Graph, vertex: int, visible: set[int], n: int) -> VertexView:
+    """A view of ``vertex`` that only includes neighbors inside ``visible``.
+
+    Used by the public/unique player model of Section 3.1, where the
+    unique player u_{i,j} sees only the edges of vertex j *inside copy
+    G_i* rather than all of the vertex's edges in G.
+    """
+    return VertexView(
+        n=n, vertex=vertex, neighbors=frozenset(graph.neighbors(vertex) & visible)
+    )

@@ -1,0 +1,36 @@
+"""Maximal matching / MIS protocols in the sketching model."""
+
+from .linear import LinearL0Matching
+from .matching_naive import FullNeighborhoodMIS, FullNeighborhoodMatching
+from .matching_sampled import (
+    DegreeAdaptiveMatching,
+    HybridMatching,
+    LowDegreeOnlyMatching,
+    SampledEdgesMIS,
+    SampledEdgesMatching,
+)
+from .mis_luby import LubyAdaptiveMIS, OneRoundLocalMinMIS
+from .priority import PatchedLocalMinMIS, PriorityEdgeMatching, edge_priority
+from .registry import available_protocols, is_mis_spec, make_protocol
+from .two_round import FilteringMatching, SampleAndPruneMIS
+
+__all__ = [
+    "DegreeAdaptiveMatching",
+    "FilteringMatching",
+    "FullNeighborhoodMIS",
+    "FullNeighborhoodMatching",
+    "HybridMatching",
+    "LinearL0Matching",
+    "LowDegreeOnlyMatching",
+    "LubyAdaptiveMIS",
+    "OneRoundLocalMinMIS",
+    "PatchedLocalMinMIS",
+    "PriorityEdgeMatching",
+    "SampleAndPruneMIS",
+    "SampledEdgesMIS",
+    "SampledEdgesMatching",
+    "available_protocols",
+    "edge_priority",
+    "is_mis_spec",
+    "make_protocol",
+]

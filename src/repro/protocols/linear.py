@@ -1,0 +1,80 @@
+"""A genuinely *linear* one-round matching protocol.
+
+Section 1.1 distinguishes linear sketches (each message is a linear
+function of the player's incidence vector — covered by the earlier
+streaming lower bounds [14]) from general sketches (this paper's
+subject).  :class:`LinearL0Matching` is the canonical linear matching
+protocol: every player sends ``samplers_per_vertex`` serialized L0
+samplers of its incidence row; the referee recovers one candidate edge
+per sampler and greedily matches.
+
+Because the message is a linear function of the input, this protocol is
+also a dynamic-stream algorithm (see :mod:`repro.streams.equivalence`).
+Its failure on D_MM (experiment T1's sweep accepts any SketchProtocol)
+illustrates that the new lower bound subsumes the linear case at these
+budgets — while costing O(samplers * log^2 n) bits rather than the
+Ω(n) the linear-sketch lower bounds prove for exact maximality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graphs import Edge, Graph, greedy_maximal_matching
+from ..model import (
+    BitWriter,
+    Message,
+    PublicCoins,
+    SketchProtocol,
+    VertexView,
+)
+from ..sketches import L0Config, L0Sampler
+from ..sketches.incidence import coordinate_edge, edge_coordinate
+
+
+class LinearL0Matching(SketchProtocol):
+    """Send L0 samplers of the incidence row; match the recoveries."""
+
+    def __init__(self, samplers_per_vertex: int) -> None:
+        if samplers_per_vertex < 0:
+            raise ValueError("samplers_per_vertex must be non-negative")
+        self.samplers_per_vertex = samplers_per_vertex
+        self.name = f"linear-l0-matching({samplers_per_vertex})"
+
+    def _labels(self) -> list[str]:
+        return [f"linear-mm/{s}" for s in range(self.samplers_per_vertex)]
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        config = L0Config.for_universe(view.n * view.n)
+        writer = BitWriter()
+        for label in self._labels():
+            # Per-vertex streams: key the label by the vertex so samplers
+            # of different vertices are independent (they are never
+            # summed across vertices in this protocol).
+            sampler = L0Sampler(config, coins, f"{label}/{view.vertex}")
+            for u in view.neighbors:
+                sampler.update(edge_coordinate(view.vertex, u, view.n), 1)
+            sampler.encode(writer, max_value_magnitude=view.n)
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> set[Edge]:
+        config = L0Config.for_universe(n * n)
+        candidates = Graph(vertices=sketches.keys())
+        for v, message in sketches.items():
+            reader = message.reader()
+            for label in self._labels():
+                sampler = L0Sampler.decode(
+                    reader, config, coins, f"{label}/{v}", max_value_magnitude=n
+                )
+                got = sampler.recover()
+                if got is None:
+                    continue
+                try:
+                    u, w = coordinate_edge(got[0], n)
+                except ValueError:
+                    continue
+                if u in sketches and w in sketches:
+                    candidates.add_edge(u, w)
+        return greedy_maximal_matching(candidates)

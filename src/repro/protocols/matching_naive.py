@@ -1,0 +1,65 @@
+"""The trivial Θ(n)-bit protocols: send your whole neighborhood.
+
+Section 1 of the paper: "the problem is trivial with sketches of size
+Θ(n) by sending the entire neighborhood of each vertex to the referee."
+These protocols are the upper-bound anchor of the Theorem 1/2 gap — the
+lower bound says Ω(n^(1/2-ε)), the trivial upper bound says O(n), and
+closing the gap is the paper's open question.
+
+A neighborhood is encoded as an n-bit adjacency row, so the message is
+exactly n bits regardless of degree (a length-prefixed ID list would be
+cheaper on sparse graphs but Θ(n log n) in the worst case).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graphs import Edge, Graph, greedy_maximal_matching, greedy_mis
+from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
+
+
+def _encode_adjacency_row(view: VertexView) -> Message:
+    writer = BitWriter()
+    for u in range(view.n):
+        writer.write_bit(1 if u in view.neighbors else 0)
+    return writer.to_message()
+
+
+def _decode_graph(n: int, sketches: Mapping[int, Message]) -> Graph:
+    graph = Graph(vertices=sketches.keys())
+    for v, message in sketches.items():
+        reader = message.reader()
+        for u in range(n):
+            if reader.read_bit() and u in graph:
+                # Each edge is reported by both endpoints; add_edge dedups.
+                graph.add_edge(v, u)
+    return graph
+
+
+class FullNeighborhoodMatching(SketchProtocol):
+    """Referee reconstructs G exactly and outputs a greedy maximal matching."""
+
+    name = "full-neighborhood-matching"
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        return _encode_adjacency_row(view)
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> set[Edge]:
+        return greedy_maximal_matching(_decode_graph(n, sketches))
+
+
+class FullNeighborhoodMIS(SketchProtocol):
+    """Referee reconstructs G exactly and outputs a greedy MIS."""
+
+    name = "full-neighborhood-mis"
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        return _encode_adjacency_row(view)
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> set[int]:
+        return greedy_mis(_decode_graph(n, sketches))

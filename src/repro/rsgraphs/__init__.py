@@ -1,0 +1,38 @@
+"""Ruzsa-Szemerédi graphs: constructions, verification, parameter catalog."""
+
+from .catalog import (
+    RSParameters,
+    build_catalog_entry,
+    catalog,
+    proposition21_r,
+    proposition21_t,
+)
+from .construction import RSGraph, best_uniform, sum_class_rs_graph, uniformize
+from .decomposition import (
+    as_rs_graph,
+    can_extend_induced,
+    decomposition_profile,
+    greedy_induced_decomposition,
+)
+from .tripartite import tripartite_rs_graph
+from .verify import is_induced_matching, verify_edge_partition, verify_rs_graph
+
+__all__ = [
+    "RSGraph",
+    "RSParameters",
+    "as_rs_graph",
+    "best_uniform",
+    "build_catalog_entry",
+    "can_extend_induced",
+    "catalog",
+    "decomposition_profile",
+    "greedy_induced_decomposition",
+    "is_induced_matching",
+    "proposition21_r",
+    "proposition21_t",
+    "sum_class_rs_graph",
+    "tripartite_rs_graph",
+    "uniformize",
+    "verify_edge_partition",
+    "verify_rs_graph",
+]

@@ -1,0 +1,68 @@
+"""Parameter catalog for Proposition 2.1.
+
+Proposition 2.1 promises, for infinitely many N, (r, t)-RS graphs on N
+vertices with r = N / e^Θ(sqrt(log N)) and t = N/3.  This module measures
+what our explicit constructions actually achieve at a given size and
+compares against the asymptotic formula — the data behind experiment P21.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arithmetic import best_ap_free_set
+from .construction import RSGraph, best_uniform, sum_class_rs_graph
+
+
+@dataclass(frozen=True)
+class RSParameters:
+    """Achieved parameters of a concrete uniform RS graph."""
+
+    n: int  # number of vertices N
+    r: int  # size of every induced matching
+    t: int  # number of induced matchings
+    num_edges: int
+    ap_free_size: int  # |A| used by the construction
+
+    @property
+    def edge_density(self) -> float:
+        """Edges per vertex, the quantity the lower bound 'hides' in."""
+        return self.num_edges / self.n if self.n else 0.0
+
+
+def proposition21_r(n: int) -> float:
+    """The asymptotic matching size r(N) = N / e^(c sqrt(log N)) with
+    Behrend's constant, for the comparison column of experiment P21."""
+    if n <= 1:
+        return float(n)
+    c = 2.0 * math.sqrt(2.0 * math.log(2.0))
+    return n / math.exp(c * math.sqrt(math.log(n)))
+
+
+def proposition21_t(n: int) -> float:
+    """The asymptotic matching count t(N) = N / 3."""
+    return n / 3.0
+
+
+def build_catalog_entry(m: int, min_t: int = 1) -> tuple[RSGraph, RSParameters]:
+    """Build the sum-class RS graph at left-part size m, uniformize it, and
+    report the achieved parameters."""
+    ap_free = best_ap_free_set(m)
+    rs = sum_class_rs_graph(m, ap_free)
+    uniform = best_uniform(rs, min_t=min_t)
+    params = RSParameters(
+        n=uniform.num_vertices,
+        r=uniform.r,
+        t=uniform.num_matchings,
+        num_edges=uniform.graph.num_edges(),
+        ap_free_size=len(ap_free),
+    )
+    return uniform, params
+
+
+def catalog(ms: list[int] | None = None) -> list[RSParameters]:
+    """Achieved (r, t) across a sweep of construction sizes."""
+    if ms is None:
+        ms = [4, 8, 16, 32, 64, 128]
+    return [build_catalog_entry(m)[1] for m in ms]

@@ -1,0 +1,82 @@
+"""The original tripartite Ruzsa-Szemerédi (1978) construction.
+
+Parts X = {0..m-1}, Y = {0..2m-2}, Z = {0..3m-3} (labels offset so the
+graph lives on 0..6m-4).  For every x in X and a in a 3-AP-free set
+A ⊆ {0..m-1}, we add the triangle
+
+    (x, x+a) in X×Y,   (x+a, x+2a) in Y×Z,   (x, x+2a) in X×Z.
+
+The edge set partitions into induced matchings three ways:
+
+* Y×Z edges, grouped by x          (a = z - y recovers a; x = 2y - z)
+* X×Z edges, grouped by y = (x+z)/2
+* X×Y edges, grouped by z = 2y - x
+
+In each family, an off-matching edge between two matched pairs forces a
+nontrivial 3-AP in A (see the per-family comments), so 3-AP-freeness
+makes all 6m - 4 classes induced.  This is the construction cited in
+Proposition 2.1; the bipartite sum-class variant in
+:mod:`repro.rsgraphs.construction` is the default elsewhere because it
+is smaller for the same |A|.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..arithmetic import best_ap_free_set, is_three_ap_free
+from ..graphs import Edge, Graph
+
+from .construction import RSGraph
+
+
+def tripartite_rs_graph(m: int, ap_free: Sequence[int] | None = None) -> RSGraph:
+    """Build the RS78 tripartite graph with all three matching families."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    if ap_free is None:
+        ap_free = best_ap_free_set(m)
+    else:
+        ap_free = sorted(set(ap_free))
+        if ap_free and (ap_free[0] < 0 or ap_free[-1] >= m):
+            raise ValueError("ap_free must be a subset of {0, ..., m-1}")
+        if not is_three_ap_free(ap_free):
+            raise ValueError("ap_free contains a 3-term arithmetic progression")
+
+    size_y = max(2 * m - 1, 1)
+    size_z = max(3 * m - 2, 1)
+
+    def y_label(y: int) -> int:
+        return m + y
+
+    def z_label(z: int) -> int:
+        return m + size_y + z
+
+    graph = Graph(vertices=range(m + size_y + size_z))
+
+    xy_by_z: dict[int, list[Edge]] = {}
+    xz_by_y: dict[int, list[Edge]] = {}
+    yz_by_x: dict[int, list[Edge]] = {}
+    for x in range(m):
+        for a in ap_free:
+            y, z = x + a, x + 2 * a
+            graph.add_edge(x, y_label(y))
+            graph.add_edge(x, z_label(z))
+            graph.add_edge(y_label(y), z_label(z))
+            # XY edge (x, x+a): unique triangle has z = x + 2a = 2y - x.
+            # An extra edge (x_i, y_j) among class-z endpoints needs
+            # y_j - x_i in A, which equals (a_i + a_j)/2: a 3-AP.
+            xy_by_z.setdefault(z, []).append((x, y_label(y)))
+            # XZ edge (x, x+2a): unique y = x + a = (x + z)/2.  An extra
+            # edge needs (z_j - x_i)/2 = (a_i + a_j)/2 in A: a 3-AP.
+            xz_by_y.setdefault(y, []).append((x, z_label(z)))
+            # YZ edge (x+a, x+2a): unique x = 2y - z.  An extra edge
+            # (y_i, z_j) needs z_j - y_i = 2a_j - a_i in A: the 3-AP
+            # (a_i, a_j, 2a_j - a_i).
+            yz_by_x.setdefault(x, []).append((y_label(y), z_label(z)))
+
+    matchings: list[tuple[Edge, ...]] = []
+    for family in (yz_by_x, xz_by_y, xy_by_z):
+        for key in sorted(family):
+            matchings.append(tuple(sorted(family[key])))
+    return RSGraph(graph=graph, matchings=tuple(matchings))

@@ -1,0 +1,58 @@
+"""Verification of induced matchings and of the (r, t)-RS property.
+
+Section 2.2: a graph is an (r, t)-Ruzsa-Szemerédi graph iff its edge set
+partitions into t induced matchings, each of size r.  "Induced" means the
+subgraph induced on the matching's endpoints contains no edge beyond the
+matching itself — the property that makes Claim 3.1's maximality argument
+work, so we check it exactly rather than trust the construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..graphs import Edge, Graph, is_matching, matched_vertices, normalize_edge
+
+
+def is_induced_matching(graph: Graph, matching: Iterable[Edge]) -> bool:
+    """True iff the edges form a matching of the graph and the subgraph
+    induced on their endpoints has no additional edge."""
+    edges = {normalize_edge(u, v) for u, v in matching}
+    if not is_matching(edges):
+        return False
+    if not all(graph.has_edge(u, v) for u, v in edges):
+        return False
+    endpoints = matched_vertices(edges)
+    induced = graph.induced_subgraph(endpoints)
+    return induced.edge_set() == frozenset(edges)
+
+
+def verify_edge_partition(
+    graph: Graph, matchings: Sequence[Iterable[Edge]]
+) -> bool:
+    """True iff the matchings' edge sets are disjoint and cover the graph."""
+    seen: set[Edge] = set()
+    total = 0
+    for matching in matchings:
+        for u, v in matching:
+            edge = normalize_edge(u, v)
+            if edge in seen:
+                return False
+            seen.add(edge)
+            total += 1
+    return total == graph.num_edges() and seen == set(graph.edges())
+
+
+def verify_rs_graph(
+    graph: Graph,
+    matchings: Sequence[Iterable[Edge]],
+    r: int | None = None,
+) -> bool:
+    """Full (r, t)-RS check: edge partition + every matching induced
+    (+ uniform size r when given)."""
+    materialized = [list(m) for m in matchings]
+    if not verify_edge_partition(graph, materialized):
+        return False
+    if r is not None and any(len(m) != r for m in materialized):
+        return False
+    return all(is_induced_matching(graph, m) for m in materialized)

@@ -1,0 +1,54 @@
+"""Upper-bound sketch algorithms the paper contrasts against.
+
+These are the problems that *do* admit polylog(n)-bit sketches
+(introduction of the paper): spanning forest / connectivity via AGM,
+the footnote-1 crossing-edge protocol, and (Δ+1)-coloring via palette
+sparsification.  They share the L0-sampling machinery built here.
+"""
+
+from .agm import AGMParameters, AGMSpanningForest
+from .certificate import ConnectivityCertificate, certificate_min_cut
+from .coloring import (
+    ColoringResult,
+    PaletteSparsificationColoring,
+    PrivateCoinColoring,
+    is_proper_coloring,
+    sample_palette,
+)
+from .connectivity import AGMConnectivity
+from .crossing_edge import CrossingEdgeProtocol, CrossingEdgeResult
+from .degeneracy import DegeneracyEstimate, DegeneracySketch
+from .densest import DensestSubgraphResult, DensestSubgraphSketch, edge_sampled
+from .incidence import coordinate_edge, edge_coordinate, incidence_entries
+from .triangles import TriangleCountSketch, TriangleEstimate
+from .l0sampler import L0Config, L0Sampler
+from .onesparse import DEFAULT_MODULUS, OneSparse
+
+__all__ = [
+    "AGMConnectivity",
+    "AGMParameters",
+    "AGMSpanningForest",
+    "ColoringResult",
+    "ConnectivityCertificate",
+    "CrossingEdgeProtocol",
+    "CrossingEdgeResult",
+    "DEFAULT_MODULUS",
+    "DegeneracyEstimate",
+    "DegeneracySketch",
+    "DensestSubgraphResult",
+    "DensestSubgraphSketch",
+    "L0Config",
+    "L0Sampler",
+    "OneSparse",
+    "PaletteSparsificationColoring",
+    "PrivateCoinColoring",
+    "TriangleCountSketch",
+    "TriangleEstimate",
+    "certificate_min_cut",
+    "coordinate_edge",
+    "edge_coordinate",
+    "edge_sampled",
+    "incidence_entries",
+    "is_proper_coloring",
+    "sample_palette",
+]

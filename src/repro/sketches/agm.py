@@ -1,0 +1,156 @@
+"""The AGM spanning-forest sketch (Ahn–Guha–McGregor, SODA 2012).
+
+Each vertex sends B = O(log n) independent L0 samplers of its signed
+incidence vector, each with O(log n) one-sparse levels of O(log n)-bit
+words: O(log^3 n) bits per player, the headline upper bound the paper
+contrasts its lower bound against (experiment UB-SF).
+
+The referee runs Borůvka: starting from singleton components, each round
+r adds, per component, the edge recovered from the *round-r* samplers
+summed over the component's members (linearity makes the internal edges
+cancel), then merges.  Fresh samplers per round keep the recoveries
+independent of the merging decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..graphs import Edge
+from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
+from .incidence import coordinate_edge, incidence_entries
+from .l0sampler import L0Config, L0Sampler
+
+
+class _UnionFind:
+    def __init__(self, items: list[int]) -> None:
+        self.parent = {x: x for x in items}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        self.parent[rx] = ry
+        return True
+
+
+@dataclass(frozen=True)
+class AGMParameters:
+    """Sketch dimensioning for a given n."""
+
+    num_rounds: int  # Borůvka rounds = sampler batches
+    repetitions: int  # independent samplers per round (failure boosting)
+
+    @staticmethod
+    def for_n(n: int, repetitions: int = 3) -> "AGMParameters":
+        rounds = max(1, math.ceil(math.log2(max(n, 2)))) + 1
+        return AGMParameters(num_rounds=rounds, repetitions=repetitions)
+
+
+class AGMSpanningForest(SketchProtocol):
+    """One-round public-coin sketching protocol for spanning forests."""
+
+    name = "agm-spanning-forest"
+
+    def __init__(self, params: AGMParameters | None = None) -> None:
+        self._params = params
+
+    def _resolve(self, n: int) -> tuple[AGMParameters, L0Config]:
+        params = self._params or AGMParameters.for_n(n)
+        config = L0Config.for_universe(n * n)
+        return params, config
+
+    def _sampler_labels(self, params: AGMParameters) -> list[str]:
+        return [
+            f"agm/round{r}/rep{c}"
+            for r in range(params.num_rounds)
+            for c in range(params.repetitions)
+        ]
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        params, config = self._resolve(view.n)
+        entries = incidence_entries(view)
+        writer = BitWriter()
+        for label in self._sampler_labels(params):
+            sampler = L0Sampler(config, coins, label)
+            for coord, value in entries:
+                sampler.update(coord, value)
+            sampler.encode(writer, max_value_magnitude=view.n)
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> set[Edge]:
+        params, config = self._resolve(n)
+        labels = self._sampler_labels(params)
+        readers = {v: m.reader() for v, m in sketches.items()}
+        decoded: dict[str, dict[int, L0Sampler]] = {label: {} for label in labels}
+        for v, reader in readers.items():
+            for label in labels:
+                decoded[label][v] = L0Sampler.decode(
+                    reader, config, coins, label, max_value_magnitude=n
+                )
+
+        vertices = sorted(sketches)
+        uf = _UnionFind(vertices)
+        forest: set[Edge] = set()
+        for round_index in range(params.num_rounds):
+            components: dict[int, list[int]] = {}
+            for v in vertices:
+                components.setdefault(uf.find(v), []).append(v)
+            if len(components) <= 1:
+                break
+            merged_any = False
+            for members in components.values():
+                edge = self._recover_outgoing(
+                    members, round_index, params, decoded
+                )
+                if edge is None:
+                    continue
+                u, w = edge
+                if u in uf.parent and w in uf.parent and uf.union(u, w):
+                    forest.add(edge)
+                    merged_any = True
+            if not merged_any:
+                break
+        return forest
+
+    def _recover_outgoing(
+        self,
+        members: list[int],
+        round_index: int,
+        params: AGMParameters,
+        decoded: dict[str, dict[int, L0Sampler]],
+    ) -> Edge | None:
+        """Sum the component's round-r samplers and recover a crossing edge,
+        trying each repetition until one passes the one-sparse test."""
+        n_sq_to_n = None
+        for rep in range(params.repetitions):
+            label = f"agm/round{round_index}/rep{rep}"
+            samplers = decoded[label]
+            combined: L0Sampler | None = None
+            for v in members:
+                combined = samplers[v] if combined is None else combined.add(samplers[v])
+            if combined is None:
+                return None
+            if n_sq_to_n is None:
+                n_sq_to_n = int(math.isqrt(combined.config.universe))
+            got = combined.recover()
+            if got is None:
+                continue
+            coord, _value = got
+            try:
+                return coordinate_edge(coord, n_sq_to_n)
+            except ValueError:
+                continue  # fingerprint collision produced garbage; next rep
+        return None

@@ -1,0 +1,216 @@
+"""(Δ+1)-coloring with O(log^3 n)-bit sketches (Assadi–Chen–Khanna 2019).
+
+The paper singles this problem out (Result 1's foil): a *symmetry
+breaking* problem that nevertheless sketches in polylog bits, unlike
+maximal matching / MIS.  The mechanism is palette sparsification:
+
+* Using public coins keyed by its ID, every vertex v samples a list
+  L(v) of Θ(log n) colors from {0, ..., Δ}.  ACK19 prove the graph is
+  list-colorable from these lists w.h.p.
+* Because the lists are public-coin functions of IDs, a player v can
+  compute L(u) for each *neighbor* u — this is precisely the "shared
+  input" power the paper's Section 1.2 discusses.  v therefore sends
+  only the IDs of neighbors u > v with L(u) ∩ L(v) ≠ ∅: the conflict
+  edges.  Expected O(log^2 n) neighbors of O(log n) bits: O(log^3 n).
+* The referee rebuilds the conflict graph and list-colors it greedily
+  (most-constrained-vertex first).
+
+Δ is a promise parameter known to all parties, the standard assumption
+for (Δ+1)-coloring in sublinear models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..graphs import Graph
+from ..model import (
+    BitWriter,
+    Message,
+    PublicCoins,
+    SketchProtocol,
+    VertexView,
+    decode_vertex_set,
+    encode_vertex_set,
+    id_width_for,
+)
+
+
+@dataclass(frozen=True)
+class ColoringResult:
+    """A (possibly partial) coloring; ``failed`` lists uncolored vertices."""
+
+    colors: dict[int, int]
+    failed: frozenset[int]
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+
+def sample_palette(
+    vertex: int, max_degree: int, list_size: int, coins: PublicCoins
+) -> frozenset[int]:
+    """The public-coin color list L(vertex) ⊆ {0, ..., Δ}.
+
+    Deterministic in (coins, vertex): any party can recompute any
+    vertex's list, which is what lets neighbors detect conflicts locally.
+    """
+    rng = coins.rng(f"palette/{vertex}")
+    num_colors = max_degree + 1
+    take = min(list_size, num_colors)
+    return frozenset(rng.sample(range(num_colors), take))
+
+
+class PaletteSparsificationColoring(SketchProtocol):
+    """One-round (Δ+1)-coloring sketch; Δ is a promise parameter."""
+
+    name = "palette-sparsification-coloring"
+
+    def __init__(self, max_degree: int, list_size: int | None = None) -> None:
+        if max_degree < 0:
+            raise ValueError("max_degree must be non-negative")
+        self.max_degree = max_degree
+        self.list_size = list_size
+
+    def _list_size(self, n: int) -> int:
+        if self.list_size is not None:
+            return self.list_size
+        # Θ(log n) lists; the constant is empirical (ACK19 use c*log n).
+        return max(4, 6 * max(1, (max(n, 2) - 1).bit_length()))
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        size = self._list_size(view.n)
+        own = sample_palette(view.vertex, self.max_degree, size, coins)
+        conflicts = [
+            u
+            for u in sorted(view.neighbors)
+            if u > view.vertex
+            and own & sample_palette(u, self.max_degree, size, coins)
+        ]
+        writer = BitWriter()
+        encode_vertex_set(writer, conflicts, id_width_for(view.n))
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> ColoringResult:
+        size = self._list_size(n)
+        width = id_width_for(n)
+        conflict = Graph(vertices=sketches.keys())
+        for v, message in sketches.items():
+            for u in decode_vertex_set(message.reader(), width):
+                conflict.add_edge(v, u)
+
+        palettes = {
+            v: set(sample_palette(v, self.max_degree, size, coins))
+            for v in sketches
+        }
+        colors: dict[int, int] = {}
+        failed: set[int] = set()
+        # Most-constrained-first greedy list coloring (DSATUR-flavored).
+        remaining = set(sketches)
+        available = {v: set(palettes[v]) for v in remaining}
+        while remaining:
+            v = min(remaining, key=lambda u: (len(available[u]), u))
+            remaining.remove(v)
+            if available[v]:
+                color = min(available[v])
+                colors[v] = color
+                for u in conflict.neighbors(v):
+                    if u in remaining:
+                        available[u].discard(color)
+            else:
+                failed.add(v)
+        return ColoringResult(colors=colors, failed=frozenset(failed))
+
+
+def is_proper_coloring(graph: Graph, colors: dict[int, int], num_colors: int) -> bool:
+    """True iff every vertex is colored in [0, num_colors) and no edge is
+    monochromatic — the referee-output validity check for experiment UB-COL."""
+    if set(colors) != set(graph.vertices):
+        return False
+    if any(not 0 <= c < num_colors for c in colors.values()):
+        return False
+    return all(colors[u] != colors[v] for u, v in graph.edges())
+
+
+class PrivateCoinColoring(SketchProtocol):
+    """(Δ+1)-coloring WITHOUT the public-coin trick — the [18] contrast.
+
+    Related work ([18]) separates private-coin from public-coin
+    simultaneous protocols; palette sparsification is a crisp concrete
+    case.  With public coins a player recomputes its neighbors' lists
+    locally and sends only the conflict edges (O(log^3 n) bits).  With
+    *private* palettes nobody can tell which neighbors share a color, so
+    the player must ship its palette AND its adjacency row for the
+    referee to build the conflict graph: n + O(log^2 n) bits — the
+    polylog advantage evaporates.  Experiment UB-COL measures both.
+    """
+
+    name = "private-coin-coloring"
+
+    def __init__(self, max_degree: int, list_size: int | None = None) -> None:
+        if max_degree < 0:
+            raise ValueError("max_degree must be non-negative")
+        self.max_degree = max_degree
+        self.list_size = list_size
+
+    def _list_size(self, n: int) -> int:
+        if self.list_size is not None:
+            return self.list_size
+        return max(4, 6 * max(1, (max(n, 2) - 1).bit_length()))
+
+    def _private_palette(self, vertex: int, n: int, coins: PublicCoins) -> frozenset[int]:
+        # Private randomness: a stream other players do not consult (the
+        # harness can derive it, but no other sketch() does — which is
+        # exactly what "private" means operationally in this model).
+        rng = coins.rng(f"private-palette/{vertex}")
+        num_colors = self.max_degree + 1
+        take = min(self._list_size(n), num_colors)
+        return frozenset(rng.sample(range(num_colors), take))
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        palette = sorted(self._private_palette(view.vertex, view.n, coins))
+        writer = BitWriter()
+        color_width = max(1, self.max_degree.bit_length() + 1)
+        writer.write_varint(len(palette))
+        for color in palette:
+            writer.write_uint(color, color_width)
+        # The adjacency row: without shared palettes the referee cannot
+        # prune any neighbor, so all of them must be shipped.
+        for u in range(view.n):
+            writer.write_bit(1 if u in view.neighbors else 0)
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> ColoringResult:
+        color_width = max(1, self.max_degree.bit_length() + 1)
+        palettes: dict[int, set[int]] = {}
+        graph = Graph(vertices=sketches.keys())
+        for v, message in sketches.items():
+            reader = message.reader()
+            count = reader.read_varint()
+            palettes[v] = {reader.read_uint(color_width) for _ in range(count)}
+            for u in range(n):
+                if reader.read_bit() and u in graph:
+                    graph.add_edge(v, u)
+
+        colors: dict[int, int] = {}
+        failed: set[int] = set()
+        remaining = set(sketches)
+        available = {v: set(palettes[v]) for v in remaining}
+        while remaining:
+            v = min(remaining, key=lambda u: (len(available[u]), u))
+            remaining.remove(v)
+            if available[v]:
+                color = min(available[v])
+                colors[v] = color
+                for u in graph.neighbors(v):
+                    if u in remaining:
+                        available[u].discard(color)
+            else:
+                failed.add(v)
+        return ColoringResult(colors=colors, failed=frozenset(failed))

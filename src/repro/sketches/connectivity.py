@@ -1,0 +1,40 @@
+"""Connectivity from the AGM forest sketch.
+
+Connectivity (and component counting) rides for free on the spanning
+forest: the forest's components are the graph's components.  This is the
+simplest member of the polylog-sketchable family the paper lists in its
+introduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graphs import Edge, Graph
+from ..model import Message, PublicCoins, SketchProtocol, VertexView
+from ..graphs.builders import connected_components
+from .agm import AGMParameters, AGMSpanningForest
+
+
+class AGMConnectivity(SketchProtocol):
+    """Sketching protocol deciding connectivity / counting components."""
+
+    name = "agm-connectivity"
+
+    def __init__(self, params: AGMParameters | None = None) -> None:
+        self._forest = AGMSpanningForest(params)
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        return self._forest.sketch(view, coins)
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> dict:
+        forest_edges: set[Edge] = self._forest.decode(n, sketches, coins)
+        forest = Graph(vertices=sketches.keys(), edges=forest_edges)
+        components = connected_components(forest)
+        return {
+            "num_components": len(components),
+            "is_connected": len(components) <= 1,
+            "components": [frozenset(c) for c in components],
+        }

@@ -1,0 +1,72 @@
+"""Degeneracy estimation sketches ([31]).
+
+Same consistent-sampling pattern as the densest-subgraph sketch: keep
+each edge with public-coin probability p (the lower endpoint reports
+it), peel the sampled graph, and rescale.  Uniform sampling scales every
+subgraph's min-degree by ~p, so sampled_degeneracy / p estimates the
+true degeneracy up to concentration — the one-round shadow of the
+[31] streaming result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..graphs import Graph
+from ..graphs.degeneracy import degeneracy as exact_degeneracy
+from ..model import (
+    BitWriter,
+    Message,
+    PublicCoins,
+    SketchProtocol,
+    VertexView,
+    decode_vertex_set,
+    encode_vertex_set,
+    id_width_for,
+)
+from .densest import edge_sampled
+
+
+@dataclass(frozen=True)
+class DegeneracyEstimate:
+    sampled_degeneracy: int
+    estimate: float  # sampled / p
+    sampled_edges: int
+
+
+class DegeneracySketch(SketchProtocol):
+    """One-round degeneracy estimator via consistent edge sampling."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+        self.probability = probability
+        self.name = f"degeneracy-sketch(p={probability})"
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        reported = [
+            u
+            for u in sorted(view.neighbors)
+            if view.vertex < u
+            and edge_sampled(coins, view.vertex, u, self.probability)
+        ]
+        writer = BitWriter()
+        encode_vertex_set(writer, reported, id_width_for(view.n))
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> DegeneracyEstimate:
+        width = id_width_for(n)
+        sampled = Graph(vertices=sketches.keys())
+        for v, message in sketches.items():
+            for u in decode_vertex_set(message.reader(), width):
+                if u in sampled:
+                    sampled.add_edge(v, u)
+        value = exact_degeneracy(sampled)
+        return DegeneracyEstimate(
+            sampled_degeneracy=value,
+            estimate=value / self.probability,
+            sampled_edges=sampled.num_edges(),
+        )

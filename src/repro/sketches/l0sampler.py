@@ -1,0 +1,153 @@
+"""L0 sampling via geometric subsampling of one-sparse summaries.
+
+An L0 sampler returns a (near-)uniform nonzero coordinate of a vector
+that is only accessible through linear updates — the engine of the AGM
+spanning-forest sketch.  Level l of the sampler restricts attention to
+the coordinates selected by a pairwise-independent hash with probability
+2^-l; if the vector has 2^l-ish nonzero entries, the level-l restriction
+is one-sparse with constant probability, and its
+:class:`~repro.sketches.onesparse.OneSparse` summary recovers the
+surviving coordinate.
+
+All hash parameters are derived from :class:`~repro.model.coins.PublicCoins`,
+so every player builds *the same* sampler and the referee can add their
+summaries coordinate-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import BitReader, BitWriter, PublicCoins
+from .onesparse import DEFAULT_MODULUS, OneSparse
+
+#: Prime modulus for the pairwise-independent level hash (2^61 - 1).
+HASH_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class L0Config:
+    """Shared configuration of an L0 sampler family.
+
+    ``universe`` is the number of coordinates (e.g. n^2 edge slots);
+    ``num_levels`` should be ~ log2(universe) + slack.
+    """
+
+    universe: int
+    num_levels: int
+    q: int = DEFAULT_MODULUS
+
+    @staticmethod
+    def for_universe(universe: int, slack: int = 2) -> "L0Config":
+        levels = max(1, universe - 1).bit_length() + slack
+        return L0Config(universe=universe, num_levels=levels)
+
+
+def _derive_params(config: L0Config, coins: PublicCoins, label: str) -> tuple[int, int, int]:
+    """Public-coin (a, b, r): the level hash pair and the fingerprint base."""
+    rng = coins.rng(f"l0/{label}")
+    a = rng.randrange(1, HASH_PRIME)
+    b = rng.randrange(HASH_PRIME)
+    r = rng.randrange(2, config.q - 1)
+    return a, b, r
+
+
+class L0Sampler:
+    """One public-coin L0 sampler instance (a stack of one-sparse levels).
+
+    Linear: samplers with the same (config, label, coins) add
+    coordinate-wise.  ``label`` distinguishes independent samplers (e.g.
+    one per Borůvka round per repetition).
+    """
+
+    def __init__(self, config: L0Config, coins: PublicCoins, label: str) -> None:
+        self.config = config
+        self.label = label
+        a, b, r = _derive_params(config, coins, label)
+        self._a = a
+        self._b = b
+        self.levels = [
+            OneSparse(q=config.q, r=r) for _ in range(config.num_levels)
+        ]
+
+    def _hash(self, index: int) -> int:
+        return (self._a * index + self._b) % HASH_PRIME
+
+    def _max_level(self, index: int) -> int:
+        """Highest level this coordinate participates in (it participates
+        in every level l <= max_level): geometric via low bits of the hash."""
+        h = self._hash(index)
+        level = 0
+        while level + 1 < self.config.num_levels and (h >> level) & 1 == 0:
+            level += 1
+        return level
+
+    def update(self, index: int, value: int) -> None:
+        if not 0 <= index < self.config.universe:
+            raise ValueError(f"index {index} outside universe {self.config.universe}")
+        top = self._max_level(index)
+        # All levels share (r, q): compute the fingerprint power once.
+        r_power = pow(self.levels[0].r, index, self.config.q)
+        for level in range(top + 1):
+            self.levels[level].update_with_power(index, value, r_power)
+
+    def add(self, other: "L0Sampler") -> "L0Sampler":
+        """Coordinate-wise sum (same label/config required)."""
+        if self.label != other.label or self.config != other.config:
+            raise ValueError("cannot add samplers from different families")
+        merged = L0Sampler.__new__(L0Sampler)
+        merged.config = self.config
+        merged.label = self.label
+        merged._a = self._a
+        merged._b = self._b
+        merged.levels = [x + y for x, y in zip(self.levels, other.levels)]
+        return merged
+
+    def recover(self) -> tuple[int, int] | None:
+        """A nonzero (index, value) of the summed vector, or None.
+
+        Scans from the most aggressive level down, so sparse survivors are
+        found first; validates the index against the universe bound.
+        """
+        for level in range(self.config.num_levels - 1, -1, -1):
+            got = self.levels[level].recover()
+            if got is not None and got[0] < self.config.universe:
+                return got
+        return None
+
+    # ------------------------------------------------------------------
+    # Bit-exact serialization (what the player actually sends)
+    # ------------------------------------------------------------------
+    def encoded_widths(self, max_value_magnitude: int) -> tuple[int, int, int]:
+        """Bit widths for (total, index_sum, fingerprint) given a bound on
+        the L1 mass a *single player* can contribute."""
+        total_width = max(2, max_value_magnitude.bit_length() + 2)
+        index_sum_width = max(
+            2, (max_value_magnitude * max(self.config.universe - 1, 1)).bit_length() + 2
+        )
+        fingerprint_width = self.config.q.bit_length()
+        return total_width, index_sum_width, fingerprint_width
+
+    def encode(self, writer: BitWriter, max_value_magnitude: int) -> None:
+        tw, iw, fw = self.encoded_widths(max_value_magnitude)
+        for level in self.levels:
+            writer.write_int(level.total, tw)
+            writer.write_int(level.index_sum, iw)
+            writer.write_uint(level.fingerprint, fw)
+
+    @classmethod
+    def decode(
+        cls,
+        reader: BitReader,
+        config: L0Config,
+        coins: PublicCoins,
+        label: str,
+        max_value_magnitude: int,
+    ) -> "L0Sampler":
+        sampler = cls(config, coins, label)
+        tw, iw, fw = sampler.encoded_widths(max_value_magnitude)
+        for level in sampler.levels:
+            level.total = reader.read_int(tw)
+            level.index_sum = reader.read_int(iw)
+            level.fingerprint = reader.read_uint(fw)
+        return sampler

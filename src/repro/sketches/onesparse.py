@@ -1,0 +1,87 @@
+"""One-sparse vector recovery — the primitive under L0 sampling.
+
+A vector x over indices {0, ..., U-1} is *one-sparse* if exactly one
+coordinate is nonzero.  The classic linear summary stores
+
+    total       = sum_i x_i
+    index_sum   = sum_i i * x_i
+    fingerprint = sum_i x_i * r^i  (mod q)
+
+for a public random r and prime q.  If x is one-sparse with value v at
+index i, then total = v, index_sum = i*v, and the fingerprint equals
+v * r^i; conversely a vector that passes the consistency check is
+one-sparse except with probability <= U/q over the choice of r (a nonzero
+polynomial of degree < U in r has at most U-1 roots mod q).
+
+The summary is *linear*: the summary of x + y is the coordinate-wise sum
+of the summaries, which is what lets the AGM referee merge the sketches
+of a whole component by adding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default fingerprint modulus: the Mersenne prime 2^61 - 1.
+DEFAULT_MODULUS = (1 << 61) - 1
+
+
+@dataclass
+class OneSparse:
+    """Linear one-sparse recovery summary.
+
+    ``r`` must be drawn from the public coins so all parties agree;
+    sketches can only be added when (q, r) match.
+    """
+
+    q: int = DEFAULT_MODULUS
+    r: int = 2
+    total: int = 0
+    index_sum: int = 0
+    fingerprint: int = field(default=0)
+
+    def update(self, index: int, value: int) -> None:
+        """Add ``value`` at coordinate ``index``."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        self.update_with_power(index, value, pow(self.r, index, self.q))
+
+    def update_with_power(self, index: int, value: int, r_power: int) -> None:
+        """Update with a precomputed r^index mod q (hot-path variant: an
+        L0 sampler applies one update to ~log n levels sharing (r, q),
+        so the caller computes the power once)."""
+        self.total += value
+        self.index_sum += index * value
+        self.fingerprint = (self.fingerprint + value * r_power) % self.q
+
+    def __add__(self, other: "OneSparse") -> "OneSparse":
+        if (self.q, self.r) != (other.q, other.r):
+            raise ValueError("cannot add one-sparse summaries with different (q, r)")
+        return OneSparse(
+            q=self.q,
+            r=self.r,
+            total=self.total + other.total,
+            index_sum=self.index_sum + other.index_sum,
+            fingerprint=(self.fingerprint + other.fingerprint) % self.q,
+        )
+
+    def is_zero(self) -> bool:
+        return self.total == 0 and self.index_sum == 0 and self.fingerprint == 0
+
+    def recover(self) -> tuple[int, int] | None:
+        """Return (index, value) if the summary passes the one-sparse
+        consistency check, else None.
+
+        Sound up to fingerprint collisions (probability <= U/q).
+        """
+        if self.total == 0:
+            return None
+        if self.index_sum % self.total != 0:
+            return None
+        index = self.index_sum // self.total
+        if index < 0:
+            return None
+        expected = (self.total % self.q) * pow(self.r, index, self.q) % self.q
+        if expected != self.fingerprint % self.q:
+            return None
+        return index, self.total

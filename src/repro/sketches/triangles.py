@@ -1,0 +1,74 @@
+"""Triangle counting sketches by consistent edge sampling ([2]).
+
+Subsample edges with probability p using the same public-coin
+consistent-hash trick as the densest-subgraph sketch; each surviving
+triangle appears in the sample with probability p^3, so the referee's
+count over the sampled graph, scaled by p^-3, is an unbiased estimator
+of the true count.  Variance is controlled by triangle abundance, which
+the experiment reports honestly (triangle-poor graphs need larger p —
+the reason testing triangle-*freeness* is hard in one round, the very
+first lower bound known in this model [17]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..graphs import Graph
+from ..graphs.triangles import count_triangles
+from ..model import (
+    BitWriter,
+    Message,
+    PublicCoins,
+    SketchProtocol,
+    VertexView,
+    decode_vertex_set,
+    encode_vertex_set,
+    id_width_for,
+)
+from .densest import edge_sampled
+
+
+@dataclass(frozen=True)
+class TriangleEstimate:
+    sampled_triangles: int
+    estimate: float  # sampled count / p^3
+    sampled_edges: int
+
+
+class TriangleCountSketch(SketchProtocol):
+    """One-round triangle count estimator."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+        self.probability = probability
+        self.name = f"triangle-count-sketch(p={probability})"
+
+    def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
+        reported = [
+            u
+            for u in sorted(view.neighbors)
+            if view.vertex < u
+            and edge_sampled(coins, view.vertex, u, self.probability)
+        ]
+        writer = BitWriter()
+        encode_vertex_set(writer, reported, id_width_for(view.n))
+        return writer.to_message()
+
+    def decode(
+        self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
+    ) -> TriangleEstimate:
+        width = id_width_for(n)
+        sampled = Graph(vertices=sketches.keys())
+        for v, message in sketches.items():
+            for u in decode_vertex_set(message.reader(), width):
+                if u in sampled:
+                    sampled.add_edge(v, u)
+        found = count_triangles(sampled)
+        return TriangleEstimate(
+            sampled_triangles=found,
+            estimate=found / (self.probability**3),
+            sampled_edges=sampled.num_edges(),
+        )

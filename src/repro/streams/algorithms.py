@@ -1,0 +1,205 @@
+"""Streaming algorithms over dynamic and insertion-only graph streams.
+
+Three algorithms anchor the paper's Section 1.1 landscape:
+
+* :class:`StreamingSpanningForest` — AGM linear sketches maintained
+  under insertions *and* deletions, then decoded exactly like the
+  distributed referee.  This is the construction that makes "dynamic
+  stream algorithm" and "linear distributed sketch" the same object.
+* :class:`InsertionOnlyGreedyMatching` — the classic 1/2-approximate
+  maximal matching for insertion-only streams in O(n log n) bits; it is
+  *not* linear and breaks under deletions, which is exactly why the
+  dynamic-stream matching lower bounds ([14]) imply linear-sketch
+  lower bounds but say nothing about general sketches — the gap this
+  paper closes.
+* :class:`StreamingL0Matching` — matching from per-vertex L0 samplers:
+  the natural *linear* matching sketch.  It survives deletions but
+  needs many samplers to make progress, illustrating the [14] bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import Edge, Graph, greedy_maximal_matching, normalize_edge
+from ..model import PublicCoins
+from ..sketches import L0Config, L0Sampler
+from ..sketches.incidence import coordinate_edge, edge_coordinate
+from .stream import Op, StreamEvent
+
+
+class StreamingSpanningForest:
+    """AGM spanning forest over a dynamic stream.
+
+    Maintains, per vertex, the same L0 samplers the distributed protocol
+    sends; an edge update touches exactly its two endpoints' samplers
+    with opposite signs.  ``result()`` runs the Borůvka referee.
+    """
+
+    def __init__(self, n: int, coins: PublicCoins, num_rounds: int | None = None,
+                 repetitions: int = 3) -> None:
+        import math
+
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.coins = coins
+        self.num_rounds = num_rounds or max(1, math.ceil(math.log2(max(n, 2)))) + 1
+        self.repetitions = repetitions
+        self._config = L0Config.for_universe(n * n)
+        self._labels = [
+            f"agm/round{r}/rep{c}"
+            for r in range(self.num_rounds)
+            for c in range(self.repetitions)
+        ]
+        self._samplers: dict[tuple[int, str], L0Sampler] = {
+            (v, label): L0Sampler(self._config, coins, label)
+            for v in range(n)
+            for label in self._labels
+        }
+
+    def update(self, event: StreamEvent) -> None:
+        u, v = event.edge
+        sign = 1 if event.op is Op.INSERT else -1
+        coord = edge_coordinate(u, v, self.n)
+        for label in self._labels:
+            # +1 at the lower endpoint, -1 at the higher (AGM signs).
+            self._samplers[(u, label)].update(coord, sign)
+            self._samplers[(v, label)].update(coord, -sign)
+
+    def process(self, events: Iterable[StreamEvent]) -> "StreamingSpanningForest":
+        for ev in events:
+            self.update(ev)
+        return self
+
+    def result(self) -> set[Edge]:
+        """Decode a spanning forest of the current graph (Borůvka)."""
+        parent = list(range(self.n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        forest: set[Edge] = set()
+        for round_index in range(self.num_rounds):
+            components: dict[int, list[int]] = {}
+            for v in range(self.n):
+                components.setdefault(find(v), []).append(v)
+            if len(components) <= 1:
+                break
+            merged = False
+            for members in components.values():
+                edge = self._recover(members, round_index)
+                if edge is None:
+                    continue
+                a, b = find(edge[0]), find(edge[1])
+                if a != b:
+                    parent[a] = b
+                    forest.add(edge)
+                    merged = True
+            if not merged:
+                break
+        return forest
+
+    def _recover(self, members: list[int], round_index: int) -> Edge | None:
+        for rep in range(self.repetitions):
+            label = f"agm/round{round_index}/rep{rep}"
+            combined: L0Sampler | None = None
+            for v in members:
+                s = self._samplers[(v, label)]
+                combined = s if combined is None else combined.add(s)
+            if combined is None:
+                return None
+            got = combined.recover()
+            if got is None:
+                continue
+            try:
+                return coordinate_edge(got[0], self.n)
+            except ValueError:
+                continue
+        return None
+
+
+class InsertionOnlyGreedyMatching:
+    """Greedy maximal matching for insertion-only streams.
+
+    O(n) edges of state; maximal for the final graph of any
+    insertion-only stream.  ``update`` raises on deletions: greedy state
+    is not linear, and that failure is the precise reason dynamic-stream
+    matching needs sketching machinery.
+    """
+
+    def __init__(self) -> None:
+        self._matched: set[int] = set()
+        self.matching: set[Edge] = set()
+
+    def update(self, event: StreamEvent) -> None:
+        if event.op is Op.DELETE:
+            raise ValueError(
+                "greedy matching state cannot process deletions; use a "
+                "linear sketch (StreamingL0Matching) for dynamic streams"
+            )
+        u, v = event.edge
+        if u not in self._matched and v not in self._matched:
+            self.matching.add(normalize_edge(u, v))
+            self._matched.add(u)
+            self._matched.add(v)
+
+    def process(self, events: Iterable[StreamEvent]) -> "InsertionOnlyGreedyMatching":
+        for ev in events:
+            self.update(ev)
+        return self
+
+    def result(self) -> set[Edge]:
+        return set(self.matching)
+
+
+class StreamingL0Matching:
+    """A *linear* matching sketch: per-vertex L0 edge samplers.
+
+    Survives deletions (linearity), and at the end greedily matches the
+    sampled edges.  With s samplers per vertex it recovers at most s
+    candidate edges per vertex — the linear analogue of the budgeted
+    :class:`~repro.protocols.SampledEdgesMatching`, and subject to the
+    same Theorem-1-style failure on hard instances.
+    """
+
+    def __init__(self, n: int, samplers_per_vertex: int, coins: PublicCoins) -> None:
+        if samplers_per_vertex < 0:
+            raise ValueError("samplers_per_vertex must be non-negative")
+        self.n = n
+        self.samplers_per_vertex = samplers_per_vertex
+        self._config = L0Config.for_universe(n * n)
+        self._samplers = {
+            (v, s): L0Sampler(self._config, coins, f"l0mm/{s}/{v}")
+            for v in range(n)
+            for s in range(samplers_per_vertex)
+        }
+
+    def update(self, event: StreamEvent) -> None:
+        u, v = event.edge
+        sign = 1 if event.op is Op.INSERT else -1
+        coord = edge_coordinate(u, v, self.n)
+        for s in range(self.samplers_per_vertex):
+            self._samplers[(u, s)].update(coord, sign)
+            self._samplers[(v, s)].update(coord, sign)
+
+    def process(self, events: Iterable[StreamEvent]) -> "StreamingL0Matching":
+        for ev in events:
+            self.update(ev)
+        return self
+
+    def result(self) -> set[Edge]:
+        candidates = Graph(vertices=range(self.n))
+        for sampler in self._samplers.values():
+            got = sampler.recover()
+            if got is None:
+                continue
+            try:
+                u, v = coordinate_edge(got[0], self.n)
+            except ValueError:
+                continue
+            candidates.add_edge(u, v)
+        return greedy_maximal_matching(candidates)

@@ -1,0 +1,81 @@
+"""The linear-sketch / dynamic-stream equivalence, executable.
+
+[1] and Section 1.1 of the paper treat "linear distributed sketch" and
+"dynamic stream algorithm" as two views of one object: because the
+sketch of each vertex is a linear function of its incidence vector,
+
+* a dynamic stream can *maintain* every vertex's sketch (each edge
+  update touches two vertices' sketches), and
+* the distributed referee's decoder runs unchanged on the maintained
+  sketches.
+
+``stream_to_distributed_sketches`` makes the first bullet concrete: it
+replays a stream into exactly the bit-serialized messages the
+:class:`~repro.sketches.agm.AGMSpanningForest` players would have sent
+for the final graph, and a test asserts the decoded forests agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import Edge
+from ..model import BitWriter, Message, PublicCoins
+from ..sketches import AGMParameters, AGMSpanningForest, L0Config, L0Sampler
+from ..sketches.incidence import edge_coordinate
+from .stream import Op, StreamEvent
+
+
+def stream_to_distributed_sketches(
+    n: int,
+    events: Iterable[StreamEvent],
+    coins: PublicCoins,
+    params: AGMParameters | None = None,
+) -> dict[int, Message]:
+    """Maintain AGM player messages under a dynamic stream.
+
+    Returns the same per-vertex messages the one-round protocol's
+    players would send for the stream's final graph — byte-for-byte,
+    because both sides compute the same linear functions with the same
+    public coins.
+    """
+    params = params or AGMParameters.for_n(n)
+    config = L0Config.for_universe(n * n)
+    labels = [
+        f"agm/round{r}/rep{c}"
+        for r in range(params.num_rounds)
+        for c in range(params.repetitions)
+    ]
+    samplers: dict[tuple[int, str], L0Sampler] = {
+        (v, label): L0Sampler(config, coins, label)
+        for v in range(n)
+        for label in labels
+    }
+    for ev in events:
+        u, v = ev.edge
+        sign = 1 if ev.op is Op.INSERT else -1
+        coord = edge_coordinate(u, v, n)
+        for label in labels:
+            samplers[(u, label)].update(coord, sign)
+            samplers[(v, label)].update(coord, -sign)
+
+    messages: dict[int, Message] = {}
+    for v in range(n):
+        writer = BitWriter()
+        for label in labels:
+            samplers[(v, label)].encode(writer, max_value_magnitude=n)
+        messages[v] = writer.to_message()
+    return messages
+
+
+def decode_stream_as_referee(
+    n: int,
+    events: Iterable[StreamEvent],
+    coins: PublicCoins,
+    params: AGMParameters | None = None,
+) -> set[Edge]:
+    """End to end: stream -> maintained sketches -> the distributed
+    referee's spanning forest."""
+    params = params or AGMParameters.for_n(n)
+    messages = stream_to_distributed_sketches(n, events, coins, params)
+    return AGMSpanningForest(params).decode(n, messages, coins)

@@ -1,0 +1,133 @@
+"""Tests for 3-AP detection and AP-free constructions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic import (
+    behrend_density_bound,
+    behrend_set,
+    behrend_sphere,
+    best_ap_free_set,
+    count_three_aps,
+    exhaustive_ap_free_set,
+    find_three_ap,
+    greedy_ap_free_set,
+    is_three_ap_free,
+)
+
+
+class TestDetection:
+    def test_empty_and_singletons(self):
+        assert is_three_ap_free([])
+        assert is_three_ap_free([5])
+        assert is_three_ap_free([5, 9])
+
+    def test_simple_ap(self):
+        assert find_three_ap([1, 2, 3]) == (1, 2, 3)
+        assert not is_three_ap_free([0, 10, 20])
+
+    def test_no_ap(self):
+        assert is_three_ap_free([0, 1, 3, 4])  # {0,1,3,4}: 0+? 1+3=4 -> mid 2 absent
+        assert is_three_ap_free([1, 2, 4, 8, 16])
+
+    def test_duplicates_ignored(self):
+        assert is_three_ap_free([3, 3, 3])
+
+    def test_negative_values(self):
+        assert find_three_ap([-2, 0, 2]) == (-2, 0, 2)
+
+    def test_count(self):
+        # {0,1,2,3}: APs are (0,1,2), (1,2,3), (0,... wait (0,1.5,3) no.
+        assert count_three_aps([0, 1, 2, 3]) == 2
+        assert count_three_aps([0, 2, 4]) == 1
+        assert count_three_aps([0, 1, 3]) == 0
+
+
+class TestGreedy:
+    def test_prefix_is_ternary_no_two(self):
+        # Greedy over [0, 27) gives exactly numbers with ternary digits {0,1}.
+        got = greedy_ap_free_set(27)
+        expect = [x for x in range(27) if all(d != "2" for d in _ternary(x))]
+        assert got == expect
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_ap_free(self, m):
+        assert is_three_ap_free(greedy_ap_free_set(m))
+
+    def test_monotone_in_m(self):
+        a50 = greedy_ap_free_set(50)
+        a100 = greedy_ap_free_set(100)
+        assert a100[: len(a50)] == a50
+
+
+def _ternary(x: int) -> str:
+    if x == 0:
+        return "0"
+    digits = ""
+    while x:
+        digits = str(x % 3) + digits
+        x //= 3
+    return digits
+
+
+class TestBehrend:
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_behrend_ap_free_and_in_range(self, m):
+        s = behrend_set(m)
+        assert is_three_ap_free(s)
+        assert all(0 <= x < m for x in s)
+
+    def test_sphere_with_one_digit(self):
+        assert behrend_sphere(10, 1) == [0]
+
+    def test_sphere_rejects_bad_digits(self):
+        with pytest.raises(ValueError):
+            behrend_sphere(10, 0)
+
+    def test_behrend_nontrivial_at_moderate_m(self):
+        s = behrend_set(1000)
+        assert len(s) >= 10  # sanity: sphere beats trivial sets well before 1000
+
+    def test_density_bound_positive_increasing(self):
+        assert behrend_density_bound(1) == 1.0
+        assert 0 < behrend_density_bound(100) < 100
+        assert behrend_density_bound(10_000) > behrend_density_bound(100)
+
+
+class TestExhaustive:
+    def test_small_optima(self):
+        # Known maximum sizes of AP-free subsets of {0..m-1}:
+        # m=1:1, 2:2, 3:2, 4:3, 5:4, 8:4, 9:5.
+        assert len(exhaustive_ap_free_set(1)) == 1
+        assert len(exhaustive_ap_free_set(2)) == 2
+        assert len(exhaustive_ap_free_set(3)) == 2
+        assert len(exhaustive_ap_free_set(4)) == 3
+        assert len(exhaustive_ap_free_set(5)) == 4
+        assert len(exhaustive_ap_free_set(9)) == 5
+
+    @given(st.integers(min_value=0, max_value=14))
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_ap_free_and_optimal(self, m):
+        s = exhaustive_ap_free_set(m)
+        assert is_three_ap_free(s)
+        assert len(s) >= len(greedy_ap_free_set(m))
+
+
+class TestBest:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_best_always_ap_free(self, m):
+        s = best_ap_free_set(m)
+        assert is_three_ap_free(s)
+        assert all(0 <= x < m for x in s)
+
+    def test_best_at_least_greedy(self):
+        for m in (10, 50, 100, 200):
+            assert len(best_ap_free_set(m)) >= len(greedy_ap_free_set(m)) or True
+            # At minimum it must match the max of our constructions:
+            assert len(best_ap_free_set(m)) >= max(
+                len(greedy_ap_free_set(m)), len(behrend_set(m))
+            ) - 0  # equality by definition for m > exhaustive_limit

@@ -1,0 +1,168 @@
+"""Tests for the concentration bounds and the symmetrization module."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import run_experiment
+from repro.lowerbound import scaled_distribution
+from repro.lowerbound.average_case import (
+    CostProfile,
+    max_to_average_gap,
+    symmetrized_cost_profile,
+)
+from repro.lowerbound.concentration import (
+    binomial_pmf,
+    binomial_tail_below,
+    chernoff_lower_tail,
+    claim31_tail_exact,
+    claim31_tail_paper_bound,
+)
+from repro.protocols import FullNeighborhoodMatching, SampledEdgesMatching
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(20, 0.3, k) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_out_of_range(self):
+        assert binomial_pmf(5, 0.5, -1) == 0.0
+        assert binomial_pmf(5, 0.5, 6) == 0.0
+
+    def test_degenerate_p(self):
+        assert binomial_pmf(5, 0.0, 0) == 1.0
+        assert binomial_pmf(5, 1.0, 5) == 1.0
+        assert binomial_pmf(5, 1.0, 4) == 0.0
+
+    def test_tail_below_extremes(self):
+        assert binomial_tail_below(10, 0.5, 0) == 0.0
+        assert binomial_tail_below(10, 0.5, 11) == pytest.approx(1.0)
+
+    def test_tail_matches_hand_computation(self):
+        # P[Bin(4, 1/2) < 2] = (1 + 4) / 16.
+        assert binomial_tail_below(4, 0.5, 2) == pytest.approx(5 / 16)
+
+    @given(st.integers(1, 60), st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_tail_monotone_in_threshold(self, n, p):
+        a = binomial_tail_below(n, p, n / 4)
+        b = binomial_tail_below(n, p, n / 2)
+        assert a <= b + 1e-12
+
+
+class TestChernoff:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 0.5, 1.0)
+
+    @given(st.integers(2, 80), st.floats(0.2, 0.8), st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_chernoff_dominates_exact_tail(self, n, p, delta):
+        """The Chernoff bound is a true upper bound on the exact tail."""
+        bound = chernoff_lower_tail(n, p, delta)
+        exact = binomial_tail_below(n, p, (1 - delta) * n * p)
+        assert exact <= bound + 1e-9
+
+    @pytest.mark.parametrize("kr", [6, 10, 20, 40, 80, 120])
+    def test_paper_claim31_constant_valid(self, kr):
+        """Claim 3.1's 2^(-kr/10) truly upper-bounds the exact tail."""
+        assert claim31_tail_exact(kr) <= claim31_tail_paper_bound(kr)
+
+    def test_tail_decays_exponentially(self):
+        assert claim31_tail_exact(80) < claim31_tail_exact(40) ** 1.5
+
+
+class TestSymmetrization:
+    def test_rejects_zero_trials(self):
+        hard = scaled_distribution(m=8, k=2)
+        with pytest.raises(ValueError):
+            symmetrized_cost_profile(hard, FullNeighborhoodMatching(), trials=0)
+
+    def test_constant_cost_protocol_perfectly_flat(self):
+        """Full-neighborhood sends exactly n bits regardless of input:
+        the profile is flat even with one trial."""
+        hard = scaled_distribution(m=8, k=2)
+        profile = symmetrized_cost_profile(
+            hard, FullNeighborhoodMatching(), trials=1, seed=0
+        )
+        assert profile.relative_spread == pytest.approx(0.0)
+        assert profile.mean == hard.n
+        assert max_to_average_gap(profile) == pytest.approx(1.0)
+
+    def test_spread_shrinks_with_trials(self):
+        hard = scaled_distribution(m=10, k=3)
+        small = symmetrized_cost_profile(
+            hard, SampledEdgesMatching(2), trials=3, seed=1
+        )
+        large = symmetrized_cost_profile(
+            hard, SampledEdgesMatching(2), trials=48, seed=1
+        )
+        assert large.relative_spread < small.relative_spread
+
+    def test_profile_covers_all_players(self):
+        hard = scaled_distribution(m=8, k=2)
+        profile = symmetrized_cost_profile(
+            hard, SampledEdgesMatching(1), trials=2, seed=2
+        )
+        assert set(profile.mean_bits_per_player) == set(range(hard.n))
+
+    def test_empty_profile_edge_cases(self):
+        profile = CostProfile(mean_bits_per_player={}, trials=1)
+        assert profile.mean == 0.0
+        assert profile.relative_spread == 0.0
+        assert max_to_average_gap(profile) == 1.0
+
+
+class TestAVGExperiment:
+    def test_chernoff_section_valid(self):
+        data = run_experiment("AVG", m=8, k=2, trials=(2, 8), seed=0).data
+        assert all(row["valid"] for row in data["chernoff"])
+        assert all(row["exact"] <= row["paper"] for row in data["chernoff"])
+
+    def test_profiles_flatten(self):
+        data = run_experiment("AVG", m=8, k=2, trials=(2, 16), seed=0).data
+        by_protocol: dict = {}
+        for row in data["profiles"]:
+            by_protocol.setdefault(row["protocol"], []).append(row)
+        for rows in by_protocol.values():
+            rows.sort(key=lambda r: r["trials"])
+            assert rows[-1]["relative_spread"] <= rows[0]["relative_spread"] + 0.15
+
+
+class TestYaoAveraging:
+    def test_max_at_least_average(self):
+        from repro.lowerbound import best_coin_fixing
+        from repro.protocols import SampledEdgesMatching
+
+        hard = scaled_distribution(m=10, k=3)
+        fixing = best_coin_fixing(
+            hard, SampledEdgesMatching(2), seeds=list(range(6)), trials=8
+        )
+        assert fixing.best >= fixing.average - 1e-12
+        assert fixing.best_seed in fixing.per_seed
+
+    def test_input_validation(self):
+        from repro.lowerbound import best_coin_fixing
+        from repro.protocols import SampledEdgesMatching
+
+        hard = scaled_distribution(m=8, k=2)
+        with pytest.raises(ValueError):
+            best_coin_fixing(hard, SampledEdgesMatching(1), seeds=[], trials=2)
+        with pytest.raises(ValueError):
+            best_coin_fixing(hard, SampledEdgesMatching(1), seeds=[1], trials=0)
+
+    def test_deterministic_protocol_seed_invariant(self):
+        from repro.lowerbound import best_coin_fixing
+
+        hard = scaled_distribution(m=8, k=2)
+        fixing = best_coin_fixing(
+            hard, FullNeighborhoodMatching(), seeds=[1, 2, 3], trials=4
+        )
+        # A coin-oblivious protocol scores identically under every seed.
+        assert len(set(fixing.per_seed.values())) == 1
+        assert fixing.best == 1.0

@@ -1,0 +1,67 @@
+"""Tests for bipartition detection and Hopcroft-Karp."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    bipartition,
+    complete_bipartite_graph,
+    cycle_graph,
+    hopcroft_karp,
+    is_bipartite,
+    is_valid_matching,
+    matching_graph,
+    maximum_matching,
+    path_graph,
+    random_bipartite,
+)
+
+
+class TestBipartition:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(5))
+        assert bipartition(cycle_graph(5)) is None
+
+    def test_path_partition_alternates(self):
+        left, right = bipartition(path_graph(4))
+        assert {0, 2} in (left, right)
+        assert {1, 3} in (left, right)
+
+    def test_isolated_vertices_on_left(self):
+        g = path_graph(2)
+        g.add_vertex(5)
+        left, right = bipartition(g)
+        assert 5 in left
+
+
+class TestHopcroftKarp:
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 5)
+        m = hopcroft_karp(g)
+        assert len(m) == 3
+        assert is_valid_matching(g, m)
+
+    def test_perfect_matching_graph(self):
+        g = matching_graph(4)
+        assert len(hopcroft_karp(g)) == 4
+
+    def test_rejects_odd_cycle(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(cycle_graph(3))
+
+    def test_explicit_left_part(self):
+        g = complete_bipartite_graph(2, 2)
+        m = hopcroft_karp(g, left={0, 1})
+        assert len(m) == 2
+
+    @given(st.integers(min_value=0, max_value=60), st.floats(0.1, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_blossom(self, seed, p):
+        g = random_bipartite(6, 6, p, random.Random(seed))
+        assert len(hopcroft_karp(g)) == len(maximum_matching(g))

@@ -1,0 +1,163 @@
+"""Tests for graph builders, components, and spanning forests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    complete_bipartite_graph,
+    connected_components,
+    cycle_graph,
+    disjoint_union,
+    erdos_renyi,
+    is_spanning_forest,
+    matching_graph,
+    path_graph,
+    random_bipartite,
+    spanning_forest_edges,
+    star_graph,
+    subsample_edges,
+    two_random_components_with_bridge,
+)
+
+
+class TestNamedBuilders:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges() == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges() == 5
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges() == 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges() == 12
+        assert g.num_vertices() == 7
+
+    def test_matching_graph(self):
+        g = matching_graph(3)
+        assert g.num_edges() == 3
+        assert all(g.degree(v) == 1 for v in g.vertices)
+
+
+class TestRandomBuilders:
+    def test_erdos_renyi_extremes(self):
+        rng = random.Random(0)
+        assert erdos_renyi(6, 0.0, rng).num_edges() == 0
+        assert erdos_renyi(6, 1.0, rng).num_edges() == 15
+
+    def test_erdos_renyi_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, random.Random(0))
+
+    def test_random_bipartite_is_bipartite(self):
+        g = random_bipartite(5, 7, 0.5, random.Random(1))
+        left = set(range(5))
+        for u, v in g.edges():
+            assert (u in left) != (v in left)
+
+    def test_subsample_keeps_vertices(self):
+        g = cycle_graph(10)
+        h = subsample_edges(g, 0.0, random.Random(0))
+        assert h.vertices == g.vertices
+        assert h.num_edges() == 0
+
+    def test_subsample_all(self):
+        g = cycle_graph(10)
+        h = subsample_edges(g, 1.0, random.Random(0))
+        assert h.edge_set() == g.edge_set()
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_subsample_is_subgraph(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(12, 0.5, rng)
+        h = subsample_edges(g, 0.5, rng)
+        assert h.edge_set() <= g.edge_set()
+        assert h.vertices == g.vertices
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        u, maps = disjoint_union([path_graph(3), cycle_graph(4)])
+        assert u.num_vertices() == 7
+        assert u.num_edges() == 2 + 4
+        assert len(maps) == 2
+
+    def test_blocks_contiguous(self):
+        u, maps = disjoint_union([path_graph(2), path_graph(3)])
+        assert sorted(maps[0].values()) == [0, 1]
+        assert sorted(maps[1].values()) == [2, 3, 4]
+
+    def test_edges_respect_mapping(self):
+        g = path_graph(3)
+        u, maps = disjoint_union([g, g])
+        m0, m1 = maps
+        assert u.has_edge(m0[0], m0[1])
+        assert u.has_edge(m1[1], m1[2])
+        assert not u.has_edge(m0[0], m1[0])
+
+
+class TestComponentsAndForests:
+    def test_components_of_union(self):
+        u, _ = disjoint_union([cycle_graph(3), path_graph(2)])
+        comps = connected_components(u)
+        assert sorted(len(c) for c in comps) == [2, 3]
+
+    def test_isolated_vertices_are_components(self):
+        g = path_graph(2)
+        g.add_vertex(9)
+        assert sorted(len(c) for c in connected_components(g)) == [1, 2]
+
+    def test_spanning_forest_valid(self):
+        g = erdos_renyi(15, 0.2, random.Random(7))
+        forest = spanning_forest_edges(g)
+        assert is_spanning_forest(g, forest)
+
+    def test_forest_edge_count(self):
+        g = erdos_renyi(15, 0.3, random.Random(8))
+        forest = spanning_forest_edges(g)
+        assert len(forest) == g.num_vertices() - len(connected_components(g))
+
+    def test_is_spanning_forest_rejects_cycle(self):
+        g = cycle_graph(3)
+        assert not is_spanning_forest(g, [(0, 1), (1, 2), (0, 2)])
+
+    def test_is_spanning_forest_rejects_disconnected(self):
+        g = path_graph(3)
+        assert not is_spanning_forest(g, [(0, 1)])
+
+    def test_is_spanning_forest_rejects_nonedges(self):
+        g = path_graph(3)
+        assert not is_spanning_forest(g, [(0, 2), (0, 1)])
+
+
+class TestBridgeExample:
+    def test_bridge_present_and_crossing(self):
+        g, (u, v) = two_random_components_with_bridge(10, 0.5, random.Random(0))
+        assert g.has_edge(u, v)
+        assert u < 10 <= v
+
+    def test_removing_bridge_splits(self):
+        g, (u, v) = two_random_components_with_bridge(8, 0.9, random.Random(1))
+        g.remove_edge(u, v)
+        comps = connected_components(g)
+        sides = [c for c in comps if c]
+        # With p=0.9 each side is almost surely connected; in any case no
+        # component spans both halves once the bridge is gone.
+        for c in sides:
+            assert all(x < 8 for x in c) or all(x >= 8 for x in c)

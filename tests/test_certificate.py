@@ -1,0 +1,117 @@
+"""Tests for the k-edge-connectivity certificate (AGM forest peeling)."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    matching_graph,
+    path_graph,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import (
+    AGMSpanningForest,
+    ConnectivityCertificate,
+    certificate_min_cut,
+)
+from repro.sketches.certificate import _exact_min_cut_capped
+
+
+class TestStoerWagner:
+    def test_cycle(self):
+        assert _exact_min_cut_capped(cycle_graph(7), 10) == 2
+
+    def test_path_bridge(self):
+        assert _exact_min_cut_capped(path_graph(5), 10) == 1
+
+    def test_complete(self):
+        assert _exact_min_cut_capped(complete_graph(5), 10) == 4
+
+    def test_cap_applies(self):
+        assert _exact_min_cut_capped(complete_graph(6), 3) == 3
+
+    def test_two_triangles_with_bridge(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)])
+        assert _exact_min_cut_capped(g, 10) == 1
+
+    def test_tiny(self):
+        assert _exact_min_cut_capped(Graph(vertices=[0]), 5) == 5
+
+
+class TestCertificate:
+    def _cert(self, g, k=3, seed=0):
+        run = run_protocol(g, ConnectivityCertificate(k=k), PublicCoins(seed))
+        return run.output, run
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ConnectivityCertificate(k=0)
+
+    def test_certificate_is_subgraph(self):
+        g = erdos_renyi(12, 0.5, random.Random(0))
+        cert, _ = self._cert(g)
+        assert cert <= g.edge_set()
+
+    def test_certificate_sparse(self):
+        g = complete_graph(10)
+        cert, _ = self._cert(g, k=2)
+        assert len(cert) <= 2 * (10 - 1)
+
+    def test_cycle_connectivity_two(self):
+        g = cycle_graph(9)
+        cert, _ = self._cert(g, k=3, seed=1)
+        assert certificate_min_cut(cert, set(g.vertices), 3) == 2
+
+    def test_bridge_detected(self):
+        g = path_graph(7)
+        cert, _ = self._cert(g, k=2, seed=2)
+        assert certificate_min_cut(cert, set(g.vertices), 2) == 1
+
+    def test_disconnected_zero(self):
+        g = matching_graph(3)
+        cert, _ = self._cert(g, k=2, seed=3)
+        assert certificate_min_cut(cert, set(g.vertices), 2) == 0
+
+    def test_dense_graph_at_least_k(self):
+        g = complete_graph(8)
+        cert, _ = self._cert(g, k=3, seed=4)
+        assert certificate_min_cut(cert, set(g.vertices), 3) == 3
+
+    def test_cost_scales_linearly_in_k(self):
+        g = cycle_graph(10)
+        _, run1 = self._cert(g, k=1, seed=5)
+        _, run3 = self._cert(g, k=3, seed=5)
+        assert run3.max_bits == 3 * run1.max_bits
+
+    def test_k1_matches_spanning_forest_cost(self):
+        g = cycle_graph(10)
+        _, run1 = self._cert(g, k=1, seed=6)
+        forest_run = run_protocol(g, AGMSpanningForest(), PublicCoins(6))
+        assert run1.max_bits == forest_run.max_bits
+
+    def test_certificate_preserves_connectivity(self):
+        from repro.graphs import connected_components
+
+        for seed in range(4):
+            g = erdos_renyi(12, 0.4, random.Random(seed))
+            cert, _ = self._cert(g, k=2, seed=seed)
+            cert_graph = Graph(vertices=g.vertices, edges=cert)
+            assert len(connected_components(cert_graph)) == len(
+                connected_components(g)
+            )
+
+    def test_small_cuts_preserved_exactly(self):
+        """Cuts below k survive into the certificate: two K5 blobs tied
+        by exactly two edges have connectivity 2, and the certificate
+        must report it."""
+        g = complete_graph(5)
+        h = complete_graph(5).relabel({v: v + 5 for v in range(5)})
+        g = g.union(h)
+        g.add_edge(0, 5)
+        g.add_edge(1, 6)
+        cert, _ = self._cert(g, k=3, seed=7)
+        assert certificate_min_cut(cert, set(g.vertices), 3) == 2

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_kwargs, _parse_value, main
+
+
+class TestParsing:
+    def test_parse_value_int(self):
+        assert _parse_value("12") == 12
+        assert isinstance(_parse_value("12"), int)
+
+    def test_parse_value_float(self):
+        assert _parse_value("0.5") == 0.5
+
+    def test_parse_value_string(self):
+        assert _parse_value("hello") == "hello"
+
+    def test_parse_kwargs(self):
+        assert _parse_kwargs(["m=8", "k=2", "tag=x"]) == {"m": 8, "k": 2, "tag": "x"}
+
+    def test_parse_kwargs_rejects_bare(self):
+        with pytest.raises(SystemExit):
+            _parse_kwargs(["m"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1b" in out and "F1" in out
+
+    def test_run_with_overrides(self, capsys):
+        assert main(["run", "F1", "--kw", "m=8", "k=2"]) == 0
+        out = capsys.readouterr().out
+        assert "[F1]" in out
+        assert "ran in" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "NOPE"])
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "PODC 2020" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestProtocolRegistry:
+    def test_available_protocols(self):
+        from repro.protocols import available_protocols
+
+        names = available_protocols()
+        assert "sampled" in names and "mis-full" in names
+
+    def test_make_protocol_specs(self):
+        from repro.protocols import make_protocol
+
+        assert make_protocol("full").name == "full-neighborhood-matching"
+        assert make_protocol("sampled:3").name == "sampled-edges-matching(3)"
+        assert make_protocol("hybrid:3,2").name == "hybrid-matching(3,2)"
+
+    def test_make_protocol_rejects_unknown(self):
+        from repro.protocols import make_protocol
+
+        with pytest.raises(ValueError):
+            make_protocol("nope")
+
+    def test_make_protocol_rejects_bad_arity(self):
+        from repro.protocols import make_protocol
+
+        with pytest.raises(ValueError):
+            make_protocol("sampled")
+        with pytest.raises(ValueError):
+            make_protocol("full:3")
+
+    def test_is_mis_spec(self):
+        from repro.protocols import is_mis_spec
+
+        assert is_mis_spec("mis-sampled:1")
+        assert not is_mis_spec("sampled:1")
+
+
+class TestAttackCommand:
+    def test_attack_matching(self, capsys):
+        assert main(["attack", "sampled:2", "--m", "8", "--k", "2", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "strict" in out and "sampled-edges-matching(2)" in out
+
+    def test_attack_mis(self, capsys):
+        assert main(["attack", "mis-full", "--m", "8", "--k", "2", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "full-neighborhood-mis" in out
+        assert "strict       : 1.00" in out
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "XCC", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "XCC"
+        assert payload["data"]["rows"]

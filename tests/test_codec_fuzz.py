@@ -1,0 +1,103 @@
+"""Hypothesis fuzzing of the bit codec — the trusted cost-accounting layer.
+
+Every protocol's communication cost rests on BitWriter/BitReader being
+exact, so we fuzz arbitrary interleavings of the codecs and assert
+perfect roundtrips and exact bit accounting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import BitReader, BitWriter, decode_vertex_set, encode_vertex_set
+
+# One codec operation: (kind, value, width) with the width only
+# meaningful for fixed-width kinds.
+_ops = st.one_of(
+    st.tuples(st.just("bit"), st.integers(0, 1), st.just(1)),
+    st.tuples(st.just("uint"), st.integers(0, 2**20 - 1), st.just(20)),
+    st.tuples(st.just("uint"), st.integers(0, 1), st.just(1)),
+    st.tuples(st.just("varint"), st.integers(0, 2**40), st.just(0)),
+    st.tuples(st.just("int"), st.integers(-(2**15), 2**15 - 1), st.just(16)),
+)
+
+
+@given(st.lists(_ops, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_roundtrip_arbitrary_interleaving(ops):
+    writer = BitWriter()
+    for kind, value, width in ops:
+        if kind == "bit":
+            writer.write_bit(value)
+        elif kind == "uint":
+            writer.write_uint(value, width)
+        elif kind == "varint":
+            writer.write_varint(value)
+        else:
+            writer.write_int(value, width)
+    message = writer.to_message()
+    reader = message.reader()
+    for kind, value, width in ops:
+        if kind == "bit":
+            assert reader.read_bit() == value
+        elif kind == "uint":
+            assert reader.read_uint(width) == value
+        elif kind == "varint":
+            assert reader.read_varint() == value
+        else:
+            assert reader.read_int(width) == value
+    assert reader.remaining == 0
+
+
+@given(st.lists(_ops, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_bit_accounting_exact(ops):
+    """num_bits equals the sum of the component encodings' widths."""
+    writer = BitWriter()
+    expected = 0
+    for kind, value, width in ops:
+        if kind == "bit":
+            writer.write_bit(value)
+            expected += 1
+        elif kind == "uint":
+            writer.write_uint(value, width)
+            expected += width
+        elif kind == "varint":
+            writer.write_varint(value)
+            groups = 1
+            v = value >> 7
+            while v:
+                groups += 1
+                v >>= 7
+            expected += 8 * groups
+        else:
+            writer.write_int(value, width)
+            expected += width
+    assert writer.num_bits == expected
+    assert writer.to_message().num_bits == expected
+
+
+@given(
+    st.lists(st.integers(0, 1023), max_size=50),
+    st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_vertex_set_roundtrip_fuzz(vertices, repeats):
+    writer = BitWriter()
+    for _ in range(repeats):
+        encode_vertex_set(writer, vertices, 10)
+    reader = writer.to_message().reader()
+    for _ in range(repeats):
+        assert decode_vertex_set(reader, 10) == vertices
+    assert reader.remaining == 0
+
+
+@given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_raw_bits_roundtrip(bits):
+    writer = BitWriter()
+    for b in bits:
+        writer.write_bit(b)
+    message = writer.to_message()
+    assert list(message.bits) == bits
+    reader = BitReader(message)
+    assert [reader.read_bit() for _ in bits] == bits

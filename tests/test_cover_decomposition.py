@@ -1,0 +1,139 @@
+"""Tests for vertex covers (König) and induced-matching decompositions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    complete_bipartite_graph,
+    cycle_graph,
+    erdos_renyi,
+    hopcroft_karp,
+    is_vertex_cover,
+    konig_cover,
+    matching_cover,
+    maximum_matching,
+    path_graph,
+    random_bipartite,
+)
+from repro.rsgraphs import (
+    as_rs_graph,
+    can_extend_induced,
+    decomposition_profile,
+    greedy_induced_decomposition,
+    is_induced_matching,
+    sum_class_rs_graph,
+    verify_rs_graph,
+)
+
+
+class TestVertexCover:
+    def test_is_vertex_cover(self):
+        g = path_graph(4)
+        assert is_vertex_cover(g, {1, 2})
+        assert not is_vertex_cover(g, {0, 3})
+        assert is_vertex_cover(g, g.vertices)
+
+    def test_matching_cover_covers(self):
+        g = erdos_renyi(15, 0.3, random.Random(0))
+        cover = matching_cover(g)
+        assert is_vertex_cover(g, cover)
+
+    def test_matching_cover_2_approx(self):
+        g = erdos_renyi(12, 0.3, random.Random(1))
+        cover = matching_cover(g)
+        optimum_lb = len(maximum_matching(g))  # weak duality
+        assert len(cover) <= 2 * max(optimum_lb, 1) or not g.num_edges()
+
+    def test_konig_on_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 5)
+        cover = konig_cover(g)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == 3
+
+    def test_konig_rejects_odd_cycle(self):
+        with pytest.raises(ValueError):
+            konig_cover(cycle_graph(5))
+
+    @given(st.integers(0, 100), st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_konig_equals_max_matching(self, seed, p):
+        """König's theorem: |min cover| = |max matching| — cross-checks
+        Hopcroft-Karp and the alternating-BFS cover construction."""
+        g = random_bipartite(6, 6, p, random.Random(seed))
+        cover = konig_cover(g)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == len(hopcroft_karp(g))
+
+
+class TestInducedDecomposition:
+    def test_every_class_induced(self):
+        g = erdos_renyi(12, 0.3, random.Random(2))
+        classes = greedy_induced_decomposition(g)
+        for cls in classes:
+            assert is_induced_matching(g, cls)
+
+    def test_partition_covers_all_edges(self):
+        g = erdos_renyi(12, 0.4, random.Random(3))
+        classes = greedy_induced_decomposition(g)
+        assert sum(len(c) for c in classes) == g.num_edges()
+        assert verify_rs_graph(g, [sorted(c) for c in classes])
+
+    def test_as_rs_graph_roundtrip(self):
+        g = erdos_renyi(10, 0.3, random.Random(4))
+        rs = as_rs_graph(g, greedy_induced_decomposition(g))
+        assert verify_rs_graph(rs.graph, rs.matchings)
+
+    def test_matching_graph_single_class(self):
+        from repro.graphs import matching_graph
+
+        g = matching_graph(5)
+        classes = greedy_induced_decomposition(g)
+        assert len(classes) == 1
+        assert len(classes[0]) == 5
+
+    def test_complete_graph_needs_many_classes(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(6)
+        classes = greedy_induced_decomposition(g)
+        # In K6 every induced matching is a single edge.
+        assert all(len(c) == 1 for c in classes)
+        assert len(classes) == 15
+
+    def test_can_extend_induced(self):
+        g = path_graph(6)
+        matching = {(0, 1)}
+        assert not can_extend_induced(g, matching, (1, 2))  # shares vertex
+        assert not can_extend_induced(g, matching, (2, 3))  # adjacent to 1
+        assert can_extend_induced(g, matching, (3, 4))
+
+    def test_profile(self):
+        profile = decomposition_profile([{(0, 1), (2, 3)}, {(4, 5)}])
+        assert profile["num_classes"] == 2
+        assert profile["largest"] == 2
+        assert profile["smallest"] == 1
+        assert profile["mean"] == 1.5
+
+    def test_profile_empty(self):
+        profile = decomposition_profile([])
+        assert profile["num_classes"] == 0
+        assert profile["largest"] == 0
+
+    def test_rs_construction_decomposes_no_worse(self):
+        """On the RS graph itself, the greedy decomposer's class count
+        is sane relative to the construction's t (it may differ, but the
+        decomposition must still be a valid RS certificate)."""
+        rs = sum_class_rs_graph(10)
+        classes = greedy_induced_decomposition(rs.graph)
+        assert verify_rs_graph(rs.graph, [sorted(c) for c in classes])
+        assert sum(len(c) for c in classes) == rs.graph.num_edges()
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_property_valid_on_random_graphs(self, seed):
+        g = erdos_renyi(9, 0.4, random.Random(seed))
+        classes = greedy_induced_decomposition(g)
+        assert verify_rs_graph(g, [sorted(c) for c in classes])

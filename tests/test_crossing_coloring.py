@@ -1,0 +1,114 @@
+"""Tests for the footnote-1 crossing-edge protocol and (Δ+1)-coloring."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    two_random_components_with_bridge,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import (
+    CrossingEdgeProtocol,
+    PaletteSparsificationColoring,
+    is_proper_coloring,
+    sample_palette,
+)
+
+
+class TestCrossingEdge:
+    def test_recovers_bridge_dense_clusters(self):
+        hits = 0
+        for seed in range(10):
+            g, bridge = two_random_components_with_bridge(
+                12, 0.7, random.Random(seed)
+            )
+            run = run_protocol(g, CrossingEdgeProtocol(), PublicCoins(seed))
+            if run.output.bridge == (min(bridge), max(bridge)):
+                hits += 1
+        assert hits >= 8  # w.h.p. behaviour, allow a little sampling slack
+
+    def test_cost_logarithmic_not_linear(self):
+        g, _ = two_random_components_with_bridge(40, 0.6, random.Random(0))
+        run = run_protocol(g, CrossingEdgeProtocol(), PublicCoins(0))
+        # Trivial protocol sends ~deg * log n ≈ 24 * 7 bits; ours sends
+        # 8 samples + one counter — far less than the full neighborhood.
+        assert run.max_bits < 150
+
+    def test_graceful_when_clusters_merge_in_samples(self):
+        # A path is 'two clusters' only degenerately; protocol must not crash.
+        g = path_graph(6)
+        run = run_protocol(g, CrossingEdgeProtocol(samples_per_vertex=1), PublicCoins(1))
+        assert run.output.bridge is None or isinstance(run.output.bridge, tuple)
+
+    def test_rejects_bad_sample_count(self):
+        with pytest.raises(ValueError):
+            CrossingEdgeProtocol(samples_per_vertex=0)
+
+
+class TestPalette:
+    def test_deterministic_per_vertex(self):
+        coins = PublicCoins(3)
+        assert sample_palette(5, 10, 4, coins) == sample_palette(5, 10, 4, coins)
+
+    def test_within_range(self):
+        palette = sample_palette(2, 7, 5, PublicCoins(4))
+        assert all(0 <= c <= 7 for c in palette)
+        assert len(palette) == 5
+
+    def test_capped_at_palette_size(self):
+        palette = sample_palette(2, 3, 100, PublicCoins(4))
+        assert palette == frozenset(range(4))
+
+
+class TestColoring:
+    def _run(self, g, seed=0, **kw):
+        delta = g.max_degree()
+        protocol = PaletteSparsificationColoring(max_degree=delta, **kw)
+        return run_protocol(g, protocol, PublicCoins(seed)), delta
+
+    def test_cycle_colored(self):
+        run, delta = self._run(cycle_graph(12))
+        assert run.output.complete
+        assert is_proper_coloring(cycle_graph(12), run.output.colors, delta + 1)
+
+    def test_complete_graph_needs_all_colors(self):
+        g = complete_graph(6)
+        run, delta = self._run(g, list_size=7)
+        assert run.output.complete
+        assert is_proper_coloring(g, run.output.colors, delta + 1)
+        assert len(set(run.output.colors.values())) == 6
+
+    def test_random_graphs(self):
+        for seed in range(6):
+            g = erdos_renyi(20, 0.3, random.Random(seed))
+            run, delta = self._run(g, seed=seed)
+            assert run.output.complete
+            assert is_proper_coloring(g, run.output.colors, delta + 1)
+
+    def test_cost_well_below_neighborhood(self):
+        g = complete_graph(30)  # degree 29 everywhere
+        run, _ = self._run(g, list_size=5)
+        # Full neighborhood would be ~29*5=145 bits; conflicts are sparse.
+        trivial_bits = 29 * 5
+        assert run.max_bits < trivial_bits
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            PaletteSparsificationColoring(max_degree=-1)
+
+    def test_is_proper_coloring_rejects_partial(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, {0: 0, 1: 1}, 2)
+
+    def test_is_proper_coloring_rejects_monochromatic_edge(self):
+        g = path_graph(2)
+        assert not is_proper_coloring(g, {0: 0, 1: 0}, 2)
+
+    def test_is_proper_coloring_rejects_out_of_range(self):
+        g = path_graph(2)
+        assert not is_proper_coloring(g, {0: 0, 1: 5}, 2)

@@ -1,0 +1,106 @@
+"""Tests for degeneracy: exact peeling, coloring cross-check, sketch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    degeneracy,
+    degeneracy_coloring,
+    degeneracy_ordering,
+    erdos_renyi,
+    grid_graph,
+    matching_graph,
+    path_graph,
+    star_graph,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import DegeneracySketch
+
+
+class TestExactDegeneracy:
+    def test_known_values(self):
+        assert degeneracy(path_graph(8)) == 1
+        assert degeneracy(cycle_graph(8)) == 2
+        assert degeneracy(complete_graph(7)) == 6
+        assert degeneracy(star_graph(10)) == 1
+        assert degeneracy(matching_graph(4)) == 1
+        assert degeneracy(grid_graph(4, 4)) == 2
+        assert degeneracy(Graph(vertices=range(3))) == 0
+
+    def test_ordering_covers_vertices(self):
+        g = erdos_renyi(12, 0.4, random.Random(0))
+        order, d = degeneracy_ordering(g)
+        assert sorted(order) == sorted(g.vertices)
+        assert d >= 0
+
+    def test_planted_core(self):
+        # K6 inside a long path: degeneracy dominated by the clique.
+        g = path_graph(20)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                g.add_edge(u, v)
+        assert degeneracy(g) == 5
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_degeneracy_bounds(self, seed):
+        g = erdos_renyi(12, 0.4, random.Random(seed))
+        d = degeneracy(g)
+        assert d <= g.max_degree()
+        if g.num_edges():
+            assert d >= 1
+            # Degeneracy >= average density of the whole graph.
+            assert d >= g.num_edges() / g.num_vertices()
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=20, deadline=None)
+    def test_coloring_uses_at_most_d_plus_one(self, seed):
+        g = erdos_renyi(12, 0.4, random.Random(seed))
+        colors = degeneracy_coloring(g)
+        assert len(set(colors.values())) <= degeneracy(g) + 1
+        for u, v in g.edges():
+            assert colors[u] != colors[v]
+
+    def test_networkx_oracle(self):
+        import networkx as nx
+
+        for seed in range(5):
+            g = erdos_renyi(14, 0.4, random.Random(seed))
+            nxg = nx.Graph()
+            nxg.add_nodes_from(g.vertices)
+            nxg.add_edges_from(g.edges())
+            core = max(nx.core_number(nxg).values()) if g.num_edges() else 0
+            assert degeneracy(g) == core
+
+
+class TestDegeneracySketch:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DegeneracySketch(0.0)
+
+    def test_p1_exact(self):
+        g = erdos_renyi(15, 0.4, random.Random(1))
+        run = run_protocol(g, DegeneracySketch(1.0), PublicCoins(0))
+        assert run.output.estimate == pytest.approx(degeneracy(g))
+
+    def test_estimate_tracks_truth_over_coins(self):
+        g = erdos_renyi(40, 0.3, random.Random(2))
+        truth = degeneracy(g)
+        estimates = [
+            run_protocol(g, DegeneracySketch(0.7), PublicCoins(seed)).output.estimate
+            for seed in range(12)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.35)
+
+    def test_sampling_cuts_cost(self):
+        g = complete_graph(20)
+        low = run_protocol(g, DegeneracySketch(0.2), PublicCoins(3)).max_bits
+        full = run_protocol(g, DegeneracySketch(1.0), PublicCoins(3)).max_bits
+        assert low < full

@@ -1,0 +1,150 @@
+"""Tests for densest subgraph: peeling baseline + sketching protocol."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    charikar_peeling,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    exact_densest_subgraph,
+    path_graph,
+    subgraph_density,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import DensestSubgraphSketch, edge_sampled
+
+
+def planted_instance(rng, n=36, clique=8, p=0.05):
+    g = erdos_renyi(n, p, rng)
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            g.add_edge(u, v)
+    return g
+
+
+class TestDensity:
+    def test_empty_set(self):
+        assert subgraph_density(path_graph(3), set()) == 0.0
+
+    def test_clique_density(self):
+        g = complete_graph(6)
+        assert subgraph_density(g, range(6)) == pytest.approx(15 / 6)
+
+    def test_subset_density(self):
+        g = complete_graph(6)
+        assert subgraph_density(g, range(3)) == pytest.approx(1.0)
+
+
+class TestCharikar:
+    def test_empty_graph(self):
+        assert charikar_peeling(Graph()) == (set(), 0.0)
+
+    def test_clique_is_densest(self):
+        g = complete_graph(7)
+        best, density = charikar_peeling(g)
+        assert best == set(range(7))
+        assert density == pytest.approx(3.0)
+
+    def test_planted_clique_found(self):
+        g = planted_instance(random.Random(0))
+        best, density = charikar_peeling(g)
+        assert set(range(8)) <= best
+        assert density >= 2.0
+
+    def test_cycle_density(self):
+        best, density = charikar_peeling(cycle_graph(10))
+        assert density == pytest.approx(1.0)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_half_approximation_property(self, seed):
+        """Charikar is a 1/2-approximation; verify against exhaustive
+        search on micro graphs."""
+        g = erdos_renyi(8, 0.5, random.Random(seed))
+        if g.num_edges() == 0:
+            return
+        _, exact = exact_densest_subgraph(g)
+        _, approx = charikar_peeling(g)
+        assert approx >= exact / 2 - 1e-9
+        assert approx <= exact + 1e-9
+
+
+class TestEdgeSampling:
+    def test_consistent_between_endpoints(self):
+        coins = PublicCoins(5)
+        assert edge_sampled(coins, 3, 7, 0.5) == edge_sampled(coins, 7, 3, 0.5)
+
+    def test_probability_extremes(self):
+        coins = PublicCoins(6)
+        assert edge_sampled(coins, 0, 1, 1.0)
+
+    def test_rate_roughly_p(self):
+        coins = PublicCoins(7)
+        hits = sum(
+            edge_sampled(coins, u, v, 0.3)
+            for u in range(40)
+            for v in range(u + 1, 40)
+        )
+        total = 40 * 39 // 2
+        assert 0.2 < hits / total < 0.4
+
+
+class TestDensestSketch:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DensestSubgraphSketch(0.0)
+        with pytest.raises(ValueError):
+            DensestSubgraphSketch(1.5)
+
+    def test_p1_matches_charikar_exactly(self):
+        g = planted_instance(random.Random(1))
+        run = run_protocol(g, DensestSubgraphSketch(1.0), PublicCoins(8))
+        best, density = charikar_peeling(g)
+        assert run.output.vertices == frozenset(best)
+        assert run.output.estimated_density == pytest.approx(density)
+
+    def test_planted_clique_mostly_recovered(self):
+        hits = 0
+        for seed in range(6):
+            g = planted_instance(random.Random(seed))
+            run = run_protocol(g, DensestSubgraphSketch(0.8), PublicCoins(seed))
+            overlap = len(run.output.vertices & set(range(8)))
+            if overlap >= 6:
+                hits += 1
+        assert hits >= 4
+
+    def test_estimated_density_tracks_truth(self):
+        g = planted_instance(random.Random(2), n=40, clique=10)
+        _, truth = charikar_peeling(g)
+        run = run_protocol(g, DensestSubgraphSketch(0.7), PublicCoins(9))
+        assert run.output.estimated_density == pytest.approx(truth, rel=0.5)
+
+    def test_cost_scales_with_p(self):
+        g = complete_graph(20)
+        low = run_protocol(g, DensestSubgraphSketch(0.1), PublicCoins(10)).max_bits
+        high = run_protocol(g, DensestSubgraphSketch(0.9), PublicCoins(10)).max_bits
+        assert low < high
+
+    def test_each_edge_reported_once(self):
+        """Only the lower endpoint reports a sampled edge: total reported
+        IDs equals the sampled edge count."""
+        g = complete_graph(12)
+        coins = PublicCoins(11)
+        p = 0.5
+        run = run_protocol(g, DensestSubgraphSketch(p), coins)
+        sampled_count = sum(
+            edge_sampled(coins, u, v, p) for u, v in g.edges()
+        )
+        from repro.model import decode_vertex_set, id_width_for
+
+        reported = sum(
+            len(decode_vertex_set(m.reader(), id_width_for(12)))
+            for m in run.transcript.sketches.values()
+        )
+        assert reported == sampled_count

@@ -1,0 +1,175 @@
+"""Tests for KL/TV/Pinsker/Fano over finite joint distributions."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    JointDistribution,
+    fano_error_lower_bound,
+    kl_divergence,
+    mutual_information_via_kl,
+    optimal_guess_error,
+    pinsker_bound,
+    product_of_marginals,
+    total_variation,
+)
+
+
+def bernoulli(name: str, p: float) -> JointDistribution:
+    return JointDistribution((name,), {(0,): 1 - p, (1,): p})
+
+
+def random_joint(rng: random.Random, arity=2, values=3) -> JointDistribution:
+    names = tuple(f"v{i}" for i in range(arity))
+    weights = {
+        outcome: rng.random() + 1e-9
+        for outcome in itertools.product(range(values), repeat=arity)
+    }
+    total = sum(weights.values())
+    return JointDistribution(names, {o: w / total for o, w in weights.items()})
+
+
+class TestKL:
+    def test_identical_zero(self):
+        p = bernoulli("x", 0.3)
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_asymmetric(self):
+        p = bernoulli("x", 0.1)
+        q = bernoulli("x", 0.5)
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_infinite_off_support(self):
+        p = bernoulli("x", 0.5)
+        q = JointDistribution(("x",), {(0,): 1.0})
+        assert math.isinf(kl_divergence(p, q))
+
+    def test_requires_same_variables(self):
+        with pytest.raises(ValueError):
+            kl_divergence(bernoulli("x", 0.5), bernoulli("y", 0.5))
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_nonnegative(self, seed):
+        rng = random.Random(seed)
+        p = random_joint(rng)
+        q = random_joint(rng)
+        assert kl_divergence(p, q) >= 0.0
+
+
+class TestTVAndPinsker:
+    def test_tv_identical(self):
+        p = bernoulli("x", 0.4)
+        assert total_variation(p, p) == pytest.approx(0.0)
+
+    def test_tv_disjoint(self):
+        p = JointDistribution(("x",), {(0,): 1.0})
+        q = JointDistribution(("x",), {(1,): 1.0})
+        assert total_variation(p, q) == pytest.approx(1.0)
+
+    def test_tv_symmetric(self):
+        p = bernoulli("x", 0.2)
+        q = bernoulli("x", 0.7)
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+        assert total_variation(p, q) == pytest.approx(0.5)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_pinsker_inequality(self, seed):
+        rng = random.Random(seed)
+        p = random_joint(rng)
+        q = random_joint(rng)
+        assert total_variation(p, q) <= pinsker_bound(p, q) + 1e-9
+
+    def test_pinsker_caps_at_one(self):
+        p = bernoulli("x", 0.999999)
+        q = JointDistribution(("x",), {(0,): 1.0})
+        assert pinsker_bound(p, q) == 1.0
+
+
+class TestMIViaKL:
+    def test_product_of_marginals(self):
+        d = JointDistribution.uniform(("a", "b"), [(0, 0), (1, 1)])
+        prod = product_of_marginals(d, ["a"], ["b"])
+        assert prod.probability(a=0, b=1) == pytest.approx(0.25)
+
+    def test_product_rejects_overlap(self):
+        d = JointDistribution.uniform(("a", "b"), [(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            product_of_marginals(d, ["a"], ["a"])
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_entropy_difference(self, seed):
+        d = random_joint(random.Random(seed), arity=2, values=3)
+        via_kl = mutual_information_via_kl(d, ["v0"], ["v1"])
+        via_entropy = d.mutual_information(["v0"], ["v1"])
+        assert via_kl == pytest.approx(via_entropy, abs=1e-9)
+
+
+class TestFano:
+    def test_perfect_channel_no_error_floor(self):
+        d = JointDistribution.uniform(("x", "y"), [(0, 0), (1, 1)])
+        assert fano_error_lower_bound(d, ["x"], ["y"]) == pytest.approx(0.0)
+        assert optimal_guess_error(d, ["x"], ["y"]) == pytest.approx(0.0)
+
+    def test_useless_channel_forces_error(self):
+        # X uniform over 4 values, Y constant: H(X|Y) = 2, bound = 1/2.
+        outcomes = [(x, 0) for x in range(4)]
+        d = JointDistribution.uniform(("x", "y"), outcomes)
+        assert fano_error_lower_bound(d, ["x"], ["y"]) == pytest.approx(0.5)
+        assert optimal_guess_error(d, ["x"], ["y"]) == pytest.approx(0.75)
+
+    def test_trivial_support(self):
+        d = JointDistribution.uniform(("x", "y"), [(0, 0), (0, 1)])
+        assert fano_error_lower_bound(d, ["x"], ["y"]) == 0.0
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_fano_below_bayes_error(self, seed):
+        d = random_joint(random.Random(seed), arity=2, values=4)
+        fano = fano_error_lower_bound(d, ["v0"], ["v1"])
+        bayes = optimal_guess_error(d, ["v0"], ["v1"])
+        assert fano <= bayes + 1e-9
+
+
+class TestFanoOnTranscripts:
+    def test_referee_error_floor_for_empty_protocol(self):
+        """On micro D_MM with the zero-budget protocol, the transcript
+        carries no information, so Fano forces a large decoding error on
+        the indicator variables — the quantitative cousin of Lemma 3.3's
+        contrapositive."""
+        from repro.lowerbound import analyze_protocol, micro_distribution
+        from repro.model import PublicCoins
+        from repro.protocols import SampledEdgesMatching
+
+        hard = micro_distribution(r=1, t=2, k=2)
+        a = analyze_protocol(hard, SampledEdgesMatching(0), PublicCoins(9))
+        cond = a.dist.condition(J=0)
+        floor = fano_error_lower_bound(
+            cond, ["M_0_0", "M_1_0"], a.transcript_vars
+        )
+        # 4 equally likely indicator patterns, nothing revealed: the best
+        # referee errs at least (2 - 1)/2 = 1/2 of the time.
+        assert floor == pytest.approx(0.5)
+
+    def test_full_protocol_has_no_floor(self):
+        from repro.lowerbound import analyze_protocol, micro_distribution
+        from repro.model import PublicCoins
+        from repro.protocols import FullNeighborhoodMatching
+
+        hard = micro_distribution(r=1, t=2, k=2)
+        a = analyze_protocol(hard, FullNeighborhoodMatching(), PublicCoins(9))
+        cond = a.dist.condition(J=0)
+        floor = fano_error_lower_bound(
+            cond, ["M_0_0", "M_1_0"], a.transcript_vars
+        )
+        assert floor == pytest.approx(0.0)
+        assert optimal_guess_error(
+            cond, ["M_0_0", "M_1_0"], a.transcript_vars
+        ) == pytest.approx(0.0)

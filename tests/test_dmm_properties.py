@@ -1,0 +1,104 @@
+"""Property-based invariants of the hard distribution D_MM.
+
+These are the structural facts the Section 3 proofs rely on, checked
+over random parameters and seeds with hypothesis.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import is_matching
+from repro.lowerbound import (
+    micro_distribution,
+    sample_dmm,
+    scaled_distribution,
+    unique_player_views,
+    vertex_player_views,
+)
+from repro.model import views_of
+
+scaled_params = st.tuples(st.integers(6, 14), st.integers(1, 5), st.integers(0, 10_000))
+micro_params = st.tuples(
+    st.integers(1, 3), st.integers(1, 3), st.integers(1, 4), st.integers(0, 10_000)
+)
+
+
+class TestScaledInvariants:
+    @given(scaled_params)
+    @settings(max_examples=20, deadline=None)
+    def test_label_partition(self, params):
+        m, k, seed = params
+        hard = scaled_distribution(m=m, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        labels = set(inst.public_labels)
+        for i in range(k):
+            labels |= inst.unique_labels(i)
+        assert labels == set(range(hard.n))
+        assert len(inst.public_labels) == hard.num_public
+
+    @given(scaled_params)
+    @settings(max_examples=20, deadline=None)
+    def test_unique_unique_edges_are_special_survivors(self, params):
+        """The induced-matching property transported through relabeling:
+        unique-unique edges of G are exactly the surviving special edges."""
+        m, k, seed = params
+        hard = scaled_distribution(m=m, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        uu = {
+            e
+            for e in inst.graph.edges()
+            if inst.is_unique_label(e[0]) and inst.is_unique_label(e[1])
+        }
+        assert uu == inst.union_special_matching
+        assert is_matching(uu)
+
+    @given(scaled_params)
+    @settings(max_examples=15, deadline=None)
+    def test_vertex_views_match_original_model(self, params):
+        m, k, seed = params
+        hard = scaled_distribution(m=m, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        assert vertex_player_views(inst) == views_of(inst.graph, n=hard.n)
+
+    @given(scaled_params)
+    @settings(max_examples=15, deadline=None)
+    def test_unique_player_edge_conservation(self, params):
+        """Summing unique players' degrees per copy double-counts exactly
+        that copy's edges."""
+        m, k, seed = params
+        hard = scaled_distribution(m=m, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        views = unique_player_views(inst)
+        for i in range(k):
+            degree_sum = sum(
+                v.degree for (ci, _), v in views.items() if ci == i
+            )
+            assert degree_sum == 2 * len(inst.copy_edges(i))
+
+
+class TestMicroInvariants:
+    @given(micro_params)
+    @settings(max_examples=20, deadline=None)
+    def test_counts(self, params):
+        r, t, k, seed = params
+        hard = micro_distribution(r=r, t=t, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        assert hard.N == 2 * r * t
+        assert inst.graph.num_vertices() == hard.n
+        # Every copy's edge count equals the popcount of its masks.
+        for i in range(k):
+            expected = sum(bin(mask).count("1") for mask in inst.indicators[i])
+            assert len(inst.copy_edges(i)) == expected
+
+    @given(micro_params)
+    @settings(max_examples=20, deadline=None)
+    def test_special_survivor_count_matches_mask(self, params):
+        r, t, k, seed = params
+        hard = micro_distribution(r=r, t=t, k=k)
+        inst = sample_dmm(hard, random.Random(seed))
+        total = sum(
+            bin(inst.indicators[i][inst.j_star]).count("1") for i in range(k)
+        )
+        assert len(inst.union_special_matching) == total

@@ -1,0 +1,80 @@
+"""Documentation quality gate + ASCII chart tests."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro.experiments.charts import bar, bar_chart
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        yield importlib.import_module(info.name)
+
+
+class TestDocumentationGate:
+    def test_every_module_has_docstring(self):
+        missing = [m.__name__ for m in _walk_modules() if not (m.__doc__ or "").strip()]
+        assert not missing, f"modules missing docstrings: {missing}"
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in vars(module).items():
+                if (
+                    inspect.isclass(obj)
+                    and obj.__module__ == module.__name__
+                    and not name.startswith("_")
+                    and not (obj.__doc__ or "").strip()
+                ):
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"classes missing docstrings: {missing}"
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in vars(module).items():
+                if (
+                    inspect.isfunction(obj)
+                    and obj.__module__ == module.__name__
+                    and not name.startswith("_")
+                    and not (obj.__doc__ or "").strip()
+                ):
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"functions missing docstrings: {missing}"
+
+
+class TestBarChart:
+    def test_full_and_empty_bars(self):
+        assert bar(1.0, 1.0, width=10) == "█" * 10
+        assert bar(0.0, 1.0, width=10) == ""
+
+    def test_zero_maximum(self):
+        assert bar(5.0, 0.0) == ""
+
+    def test_partial_cell(self):
+        out = bar(0.55, 1.0, width=10)
+        assert out.startswith("█" * 5)
+        assert len(out) == 6  # five full cells + one partial glyph
+
+    def test_chart_alignment(self):
+        lines = bar_chart(["a", "bb"], [1.0, 0.5], width=8)
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert lines[1].startswith("bb |")
+
+    def test_chart_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_chart_empty(self):
+        assert bar_chart([], []) == []
+
+    def test_explicit_maximum(self):
+        lines = bar_chart(["x"], [0.5], width=10, maximum=1.0)
+        assert "█" * 5 in lines[0]

@@ -1,0 +1,132 @@
+"""Tests for the extra graph families and the Wilson interval helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ProportionEstimate, intervals_overlap, wilson_interval
+from repro.graphs import (
+    barabasi_albert,
+    connected_components,
+    grid_graph,
+    random_regular,
+)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_corner_degrees(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2  # corner
+        assert g.degree(4) == 4  # center
+
+    def test_connected(self):
+        g = grid_graph(4, 5)
+        assert len(connected_components(g)) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_line_degenerate(self):
+        g = grid_graph(1, 5)
+        assert g.num_edges() == 4
+
+
+class TestRandomRegular:
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_degrees(self, seed):
+        g = random_regular(12, 3, random.Random(seed))
+        assert all(g.degree(v) == 3 for v in g.vertices)
+        assert g.num_edges() == 12 * 3 // 2
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3, random.Random(0))
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular(4, 4, random.Random(0))
+
+    def test_degree_zero(self):
+        g = random_regular(6, 0, random.Random(0))
+        assert g.num_edges() == 0
+
+    def test_simple_no_loops(self):
+        g = random_regular(10, 4, random.Random(1))
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestBarabasiAlbert:
+    def test_edge_count_bounds(self):
+        g = barabasi_albert(30, 2, random.Random(0))
+        seed_edges = 3  # K3 on the first 3 vertices
+        assert g.num_edges() <= seed_edges + 2 * (30 - 3)
+        assert g.num_vertices() == 30
+
+    def test_connected(self):
+        g = barabasi_albert(40, 2, random.Random(1))
+        assert len(connected_components(g)) == 1
+
+    def test_heavy_tail_tendency(self):
+        g = barabasi_albert(100, 2, random.Random(2))
+        degrees = sorted((g.degree(v) for v in g.vertices), reverse=True)
+        # The hubs dominate: top vertex far above the median.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3, random.Random(0))
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0, random.Random(0))
+
+
+class TestWilson:
+    def test_point_estimate(self):
+        est = wilson_interval(7, 10)
+        assert est.point == pytest.approx(0.7)
+        assert est.low < 0.7 < est.high
+
+    def test_extremes_stay_in_unit_interval(self):
+        zero = wilson_interval(0, 20)
+        full = wilson_interval(20, 20)
+        assert zero.low == 0.0 and zero.high > 0.0
+        assert full.high == 1.0 and full.low < 1.0
+
+    def test_interval_narrows_with_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_overlap(self):
+        a = wilson_interval(5, 10)
+        b = wilson_interval(6, 10)
+        c = wilson_interval(999, 1000)
+        assert intervals_overlap(a, b)
+        assert not intervals_overlap(a, c)
+
+    def test_str_format(self):
+        assert "[" in str(wilson_interval(3, 10))
+
+    @given(st.integers(1, 200), st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_contains_point(self, trials, successes):
+        successes = min(successes, trials)
+        est = wilson_interval(successes, trials)
+        assert est.low <= est.point + 1e-12
+        assert est.high >= est.point - 1e-12
+        assert 0.0 <= est.low <= est.high <= 1.0

@@ -1,0 +1,151 @@
+"""Unit tests for the core Graph data structure."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    empty_graph,
+    graph_from_edges,
+    normalize_edge,
+)
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(3, 3)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices() == 0
+        assert g.num_edges() == 0
+        assert g.vertices == frozenset()
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(7)
+        g.add_vertex(7)
+        assert g.num_vertices() == 1
+        assert g.has_vertex(7)
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.num_edges() == 1
+
+    def test_add_edge_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(4, 4)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_neighbors_and_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == frozenset({1, 2, 3})
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+
+    def test_neighbors_unknown_vertex(self):
+        with pytest.raises(KeyError):
+            Graph().neighbors(0)
+
+    def test_edges_canonical_once(self):
+        g = Graph(edges=[(3, 1), (1, 2)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3)]
+        assert g.edge_set() == frozenset({(1, 2), (1, 3)})
+
+    def test_incident_edges(self):
+        g = Graph(edges=[(5, 1), (5, 9)])
+        assert sorted(g.incident_edges(5)) == [(1, 5), (5, 9)]
+
+    def test_isolated_vertices_counted(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1)])
+        assert g.num_vertices() == 3
+        assert g.degree(2) == 0
+
+
+class TestGraphOperations:
+    def test_induced_subgraph(self):
+        g = complete_graph(4)
+        sub = g.induced_subgraph({0, 1, 2})
+        assert sub.vertices == frozenset({0, 1, 2})
+        assert sub.num_edges() == 3
+
+    def test_induced_subgraph_keeps_isolated(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1)])
+        sub = g.induced_subgraph({1, 2})
+        assert sub.vertices == frozenset({1, 2})
+        assert sub.num_edges() == 0
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_union(self):
+        a = Graph(edges=[(0, 1)])
+        b = Graph(edges=[(1, 2)], vertices=[5])
+        u = a.union(b)
+        assert u.vertices == frozenset({0, 1, 2, 5})
+        assert u.edge_set() == frozenset({(0, 1), (1, 2)})
+
+    def test_relabel(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        h = g.relabel({0: 10, 1: 11, 2: 12})
+        assert h.edge_set() == frozenset({(10, 11), (11, 12)})
+
+    def test_relabel_not_injective(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabel({0: 5, 1: 5})
+
+    def test_is_independent_set(self):
+        g = complete_graph(3)
+        assert g.is_independent_set({0})
+        assert not g.is_independent_set({0, 1})
+
+    def test_equality(self):
+        assert Graph(edges=[(0, 1)]) == Graph(edges=[(1, 0)])
+        assert Graph(edges=[(0, 1)]) != Graph(edges=[(0, 2)])
+        assert Graph(vertices=[0, 1]) != Graph(vertices=[0, 1, 2])
+
+
+class TestBuildersBasic:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_vertices() == 5
+        assert g.num_edges() == 10
+
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.num_vertices() == 4
+        assert g.num_edges() == 0
+
+    def test_graph_from_edges(self):
+        g = graph_from_edges([(0, 3), (3, 7)])
+        assert g.vertices == frozenset({0, 3, 7})
+        assert g.num_edges() == 2

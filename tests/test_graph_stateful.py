@@ -1,0 +1,84 @@
+"""Stateful property testing of the Graph data structure.
+
+Drives random sequences of mutations against a trivial reference model
+(plain sets) and checks full observational equivalence after every
+step — the strongest form of testing for the structure every other
+subsystem stands on.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+
+VERTICES = st.integers(0, 9)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_vertices: set[int] = set()
+        self.model_edges: set[tuple[int, int]] = set()
+
+    @rule(v=VERTICES)
+    def add_vertex(self, v):
+        self.graph.add_vertex(v)
+        self.model_vertices.add(v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_edge(self, u, v):
+        if u == v:
+            with pytest.raises(ValueError):
+                self.graph.add_edge(u, v)
+            return
+        self.graph.add_edge(u, v)
+        self.model_vertices.update((u, v))
+        self.model_edges.add((min(u, v), max(u, v)))
+
+    @rule(u=VERTICES, v=VERTICES)
+    def remove_edge(self, u, v):
+        key = (min(u, v), max(u, v))
+        if key in self.model_edges and u != v:
+            self.graph.remove_edge(u, v)
+            self.model_edges.remove(key)
+        else:
+            with pytest.raises(KeyError):
+                self.graph.remove_edge(u, v)
+
+    @rule()
+    def copy_detaches(self):
+        clone = self.graph.copy()
+        clone.add_vertex(999)
+        assert 999 not in self.graph
+
+    @invariant()
+    def vertices_match(self):
+        assert self.graph.vertices == frozenset(self.model_vertices)
+
+    @invariant()
+    def edges_match(self):
+        assert self.graph.edge_set() == frozenset(self.model_edges)
+
+    @invariant()
+    def degrees_consistent(self):
+        for v in self.model_vertices:
+            expected = sum(1 for e in self.model_edges if v in e)
+            assert self.graph.degree(v) == expected
+
+    @invariant()
+    def handshake_lemma(self):
+        total = sum(self.graph.degree(v) for v in self.graph.vertices)
+        assert total == 2 * self.graph.num_edges()
+
+
+TestGraphStateful = GraphMachine.TestCase
+TestGraphStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

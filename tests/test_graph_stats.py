@@ -1,0 +1,58 @@
+"""Tests for graph statistics and the crossing-edge fallback branch."""
+
+import random
+
+from repro.graphs import (
+    GraphSummary,
+    complete_graph,
+    degree_histogram,
+    empty_graph,
+    mean_degree,
+    path_graph,
+    star_graph,
+    summarize,
+    two_random_components_with_bridge,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import CrossingEdgeProtocol
+
+
+class TestStats:
+    def test_degree_histogram_path(self):
+        assert degree_histogram(path_graph(4)) == {1: 2, 2: 2}
+
+    def test_degree_histogram_star(self):
+        assert degree_histogram(star_graph(5)) == {5: 1, 1: 5}
+
+    def test_mean_degree(self):
+        assert mean_degree(complete_graph(5)) == 4.0
+        assert mean_degree(empty_graph(0)) == 0.0
+
+    def test_summarize(self):
+        s = summarize(star_graph(4))
+        assert isinstance(s, GraphSummary)
+        assert s.num_vertices == 5
+        assert s.min_degree == 1
+        assert s.max_degree == 4
+        assert "n=5" in str(s)
+
+    def test_summarize_empty(self):
+        s = summarize(empty_graph(0))
+        assert s.min_degree == 0 and s.max_degree == 0
+
+
+class TestCrossingEdgeFallback:
+    def test_bridge_recovered_when_always_sampled(self):
+        """With a sample budget covering every edge, the sampled graph is
+        connected and the decoder must take the remove-and-verify
+        fallback path — it still finds the bridge."""
+        hits = 0
+        for seed in range(6):
+            g, bridge = two_random_components_with_bridge(
+                8, 0.8, random.Random(seed)
+            )
+            protocol = CrossingEdgeProtocol(samples_per_vertex=50)
+            run = run_protocol(g, protocol, PublicCoins(seed))
+            if run.output.bridge == (min(bridge), max(bridge)):
+                hits += 1
+        assert hits >= 5

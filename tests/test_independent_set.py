@@ -1,0 +1,121 @@
+"""Unit + property tests for independent sets."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    all_maximal_independent_sets,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    luby_mis,
+    maximum_independent_set,
+    path_graph,
+    random_mis,
+    star_graph,
+)
+
+
+class TestIndependence:
+    def test_empty_set_independent(self):
+        assert is_independent_set(path_graph(3), set())
+
+    def test_adjacent_pair_not_independent(self):
+        assert not is_independent_set(path_graph(2), {0, 1})
+
+    def test_unknown_vertex_rejected(self):
+        assert not is_independent_set(path_graph(2), {9})
+
+    def test_alternating_path(self):
+        assert is_independent_set(path_graph(5), {0, 2, 4})
+
+
+class TestMaximality:
+    def test_maximal_on_path(self):
+        g = path_graph(4)
+        assert is_maximal_independent_set(g, {0, 2})
+        assert is_maximal_independent_set(g, {1, 3})
+        assert not is_maximal_independent_set(g, {0})  # 2 or 3 addable
+
+    def test_non_independent_not_maximal(self):
+        assert not is_maximal_independent_set(path_graph(2), {0, 1})
+
+    def test_complete_graph_singletons(self):
+        g = complete_graph(4)
+        for v in range(4):
+            assert is_maximal_independent_set(g, {v})
+
+
+class TestGreedyAndLuby:
+    def test_greedy_is_maximal(self):
+        g = erdos_renyi(25, 0.2, random.Random(0))
+        assert is_maximal_independent_set(g, greedy_mis(g))
+
+    def test_random_mis_is_maximal(self):
+        g = erdos_renyi(25, 0.2, random.Random(1))
+        for seed in range(5):
+            assert is_maximal_independent_set(g, random_mis(g, random.Random(seed)))
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_luby_is_maximal(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(20, 0.3, rng)
+        mis = luby_mis(g, rng)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_luby_on_empty_graph(self):
+        g = Graph(vertices=range(5))
+        assert luby_mis(g, random.Random(0)) == {0, 1, 2, 3, 4}
+
+    def test_star_center_or_leaves(self):
+        g = star_graph(6)
+        mis = luby_mis(g, random.Random(3))
+        assert mis == {0} or mis == set(range(1, 7))
+
+
+class TestExactMIS:
+    def test_path(self):
+        assert len(maximum_independent_set(path_graph(5))) == 3
+
+    def test_cycle(self):
+        assert len(maximum_independent_set(cycle_graph(5))) == 2
+        assert len(maximum_independent_set(cycle_graph(6))) == 3
+
+    def test_complete(self):
+        assert len(maximum_independent_set(complete_graph(5))) == 1
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_at_least_greedy(self, seed):
+        g = erdos_renyi(10, 0.4, random.Random(seed))
+        exact = maximum_independent_set(g)
+        assert is_independent_set(g, exact)
+        assert len(exact) >= len(greedy_mis(g))
+
+
+class TestEnumeration:
+    def test_path3(self):
+        result = all_maximal_independent_sets(path_graph(3))
+        assert sorted(map(sorted, result)) == [[0, 2], [1]]
+
+    def test_all_enumerated_are_maximal(self):
+        g = erdos_renyi(8, 0.4, random.Random(5))
+        sets = all_maximal_independent_sets(g)
+        assert sets  # every graph has at least one MIS
+        for s in sets:
+            assert is_maximal_independent_set(g, s)
+
+    def test_contains_greedy(self):
+        g = erdos_renyi(8, 0.4, random.Random(6))
+        enumerated = {frozenset(s) for s in all_maximal_independent_sets(g)}
+        assert frozenset(greedy_mis(g)) in enumerated
+
+    def test_complete_graph_enumeration(self):
+        assert len(all_maximal_independent_sets(complete_graph(4))) == 4

@@ -1,0 +1,235 @@
+"""Tests for the exact information-theory engine (Section 2.3)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    JointDistribution,
+    empirical_distribution,
+    fact_22_1_entropy_range,
+    fact_22_2_nonnegative_mi,
+    fact_22_3_conditioning_reduces_entropy,
+    fact_22_4_chain_rule_entropy,
+    fact_22_5_chain_rule_mi,
+    miller_madow_entropy,
+    plugin_entropy,
+    plugin_mutual_information,
+    proposition_23,
+    proposition_24,
+)
+
+
+def fair_coin_pair() -> JointDistribution:
+    """Two independent fair bits."""
+    return JointDistribution.uniform(("a", "b"), [(x, y) for x in (0, 1) for y in (0, 1)])
+
+
+def copied_bit() -> JointDistribution:
+    """b is a copy of a."""
+    return JointDistribution.uniform(("a", "b"), [(0, 0), (1, 1)])
+
+
+def xor_triple() -> JointDistribution:
+    """c = a XOR b with a, b independent fair bits."""
+    outcomes = [(a, b, a ^ b) for a in (0, 1) for b in (0, 1)]
+    return JointDistribution.uniform(("a", "b", "c"), outcomes)
+
+
+def random_joint(rng: random.Random, arity=3, values=2) -> JointDistribution:
+    names = tuple(f"v{i}" for i in range(arity))
+    outcomes = []
+    weights = []
+    import itertools
+
+    for outcome in itertools.product(range(values), repeat=arity):
+        outcomes.append(outcome)
+        weights.append(rng.random())
+    total = sum(weights)
+    return JointDistribution(names, dict(zip(outcomes, (w / total for w in weights))))
+
+
+class TestConstruction:
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            JointDistribution(("a",), {(0, 1): 1.0})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            JointDistribution(("a",), {(0,): -0.5, (1,): 1.5})
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            JointDistribution(("a",), {(0,): 0.7})
+
+    def test_normalize_flag(self):
+        d = JointDistribution(("a",), {(0,): 2.0, (1,): 2.0}, normalize=True)
+        assert d.probability(a=0) == pytest.approx(0.5)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            JointDistribution(("a", "a"), {(0, 0): 1.0})
+
+    def test_from_samples(self):
+        d = JointDistribution.from_samples(("x",), [(0,), (0,), (1,), (1,)])
+        assert d.probability(x=0) == pytest.approx(0.5)
+
+    def test_uniform(self):
+        d = JointDistribution.uniform(("x",), [(0,), (1,), (2,), (3,)])
+        assert d.entropy(["x"]) == pytest.approx(2.0)
+
+
+class TestMarginalCondition:
+    def test_marginal_of_pair(self):
+        d = copied_bit()
+        m = d.marginal(["a"])
+        assert m.probability(a=0) == pytest.approx(0.5)
+
+    def test_marginal_order(self):
+        d = xor_triple()
+        m = d.marginal(["c", "a"])
+        assert m.variables == ("c", "a")
+
+    def test_condition(self):
+        d = copied_bit()
+        c = d.condition(a=1)
+        assert c.probability(b=1) == pytest.approx(1.0)
+
+    def test_condition_zero_probability(self):
+        d = copied_bit()
+        with pytest.raises(ValueError):
+            d.condition(a=7)
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            copied_bit().marginal(["z"])
+
+    def test_support(self):
+        assert xor_triple().support(["c"]) == {(0,), (1,)}
+        assert len(xor_triple().support()) == 4
+
+
+class TestEntropy:
+    def test_fair_bit(self):
+        d = fair_coin_pair()
+        assert d.entropy(["a"]) == pytest.approx(1.0)
+        assert d.entropy(["a", "b"]) == pytest.approx(2.0)
+
+    def test_deterministic_zero(self):
+        d = JointDistribution(("a",), {(5,): 1.0})
+        assert d.entropy(["a"]) == pytest.approx(0.0)
+
+    def test_conditional_entropy_of_copy(self):
+        d = copied_bit()
+        assert d.entropy(["b"], given=["a"]) == pytest.approx(0.0)
+        assert d.entropy(["b"]) == pytest.approx(1.0)
+
+    def test_entropy_given_self_zero(self):
+        d = fair_coin_pair()
+        assert d.entropy(["a"], given=["a"]) == pytest.approx(0.0)
+
+    def test_binary_biased(self):
+        d = JointDistribution(("a",), {(0,): 0.25, (1,): 0.75})
+        expected = -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        assert d.entropy(["a"]) == pytest.approx(expected)
+
+
+class TestMutualInformation:
+    def test_independent_zero(self):
+        assert fair_coin_pair().mutual_information(["a"], ["b"]) == pytest.approx(0.0)
+
+    def test_copy_one_bit(self):
+        assert copied_bit().mutual_information(["a"], ["b"]) == pytest.approx(1.0)
+
+    def test_xor_pairwise_independent(self):
+        d = xor_triple()
+        assert d.mutual_information(["a"], ["c"]) == pytest.approx(0.0)
+        assert d.mutual_information(["b"], ["c"]) == pytest.approx(0.0)
+
+    def test_xor_conditional_reveals(self):
+        d = xor_triple()
+        assert d.mutual_information(["a"], ["c"], given=["b"]) == pytest.approx(1.0)
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError):
+            fair_coin_pair().mutual_information(["a"], ["a"])
+
+    def test_is_independent(self):
+        assert fair_coin_pair().is_independent(["a"], ["b"])
+        assert not copied_bit().is_independent(["a"], ["b"])
+        assert xor_triple().is_independent(["a"], ["c"])
+        assert not xor_triple().is_independent(["a"], ["c"], given=["b"])
+
+
+class TestFactsOnRandomDistributions:
+    """Fact 2.2 and Props 2.3/2.4 must hold on arbitrary distributions."""
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_fact_suite(self, seed):
+        d = random_joint(random.Random(seed), arity=4, values=2)
+        v = d.variables
+        assert fact_22_1_entropy_range(d, [v[0]])
+        assert fact_22_2_nonnegative_mi(d, [v[0]], [v[1]])
+        assert fact_22_3_conditioning_reduces_entropy(d, [v[0]], [v[1]], [v[2]])
+        assert fact_22_4_chain_rule_entropy(d, [v[0]], [v[1]], [v[2]])
+        assert fact_22_5_chain_rule_mi(d, [v[0]], [v[1]], [v[2]], [v[3]])
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_propositions_on_structured(self, seed):
+        # Build A ⊥ D | C by making D = f(C, fresh noise).
+        rng = random.Random(seed)
+        outcomes = {}
+        for a in (0, 1):
+            for c in (0, 1):
+                for noise in (0, 1):
+                    d_val = c ^ noise
+                    b = a ^ c
+                    outcomes[(a, b, c, d_val)] = outcomes.get((a, b, c, d_val), 0.0) + 0.125
+        dist = JointDistribution(("a", "b", "c", "d"), outcomes)
+        assert proposition_23(dist, ["a"], ["b"], ["c"], ["d"])
+        assert proposition_24(dist, ["a"], ["b"], ["c"], ["d"])
+
+    def test_proposition_premise_failure_is_vacuous(self):
+        check = proposition_23(copied_bit(), ["a"], ["b"], [], ["b"])
+        # Premise a ⊥ b fails, so the check reports vacuous truth.
+        assert check.holds and math.isnan(check.lhs)
+
+
+class TestEstimators:
+    def test_plugin_uniform(self):
+        samples = [0, 1, 2, 3] * 100
+        assert plugin_entropy(samples) == pytest.approx(2.0)
+
+    def test_plugin_rejects_empty(self):
+        with pytest.raises(ValueError):
+            plugin_entropy([])
+        with pytest.raises(ValueError):
+            miller_madow_entropy([])
+
+    def test_miller_madow_reduces_bias(self):
+        rng = random.Random(0)
+        true_entropy = 3.0  # uniform over 8 values
+        plugin_errs, mm_errs = [], []
+        for trial in range(20):
+            samples = [rng.randrange(8) for _ in range(60)]
+            plugin_errs.append(plugin_entropy(samples) - true_entropy)
+            mm_errs.append(miller_madow_entropy(samples) - true_entropy)
+        assert abs(sum(mm_errs)) < abs(sum(plugin_errs))
+
+    def test_plugin_mi_of_copies(self):
+        pairs = [(x, x) for x in (0, 1)] * 50
+        assert plugin_mutual_information(pairs) == pytest.approx(1.0)
+
+    def test_plugin_mi_of_independent_small(self):
+        rng = random.Random(1)
+        pairs = [(rng.randrange(2), rng.randrange(2)) for _ in range(2000)]
+        assert plugin_mutual_information(pairs) < 0.01
+
+    def test_empirical_distribution(self):
+        d = empirical_distribution(("x", "y"), [(0, 1), (0, 1), (1, 0), (1, 1)])
+        assert d.probability(x=0) == pytest.approx(0.5)

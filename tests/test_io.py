@@ -1,0 +1,117 @@
+"""Tests for graph / RS-graph / instance serialization."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.lowerbound import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    micro_distribution,
+    rs_graph_from_dict,
+    rs_graph_to_dict,
+    sample_dmm,
+    save_instance,
+    scaled_distribution,
+)
+from repro.rsgraphs import sum_class_rs_graph, verify_rs_graph
+
+
+class TestGraphIO:
+    def test_roundtrip(self):
+        g = erdos_renyi(12, 0.4, random.Random(0))
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_isolated_vertices_preserved(self):
+        g = Graph(vertices=[0, 1, 5], edges=[(0, 1)])
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = erdos_renyi(10, 0.3, random.Random(1))
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        assert load_graph(path) == g
+        # The file is honest JSON.
+        assert json.loads(path.read_text())["format"] == 1
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": 999, "vertices": [], "edges": []})
+
+    def test_rejects_malformed_edge(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": 1, "vertices": [0, 1], "edges": [[0]]})
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": 1, "vertices": [0], "edges": [[0, 9]]})
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, seed):
+        g = erdos_renyi(9, 0.4, random.Random(seed))
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+
+class TestRSGraphIO:
+    def test_roundtrip_keeps_rs_property(self):
+        rs = sum_class_rs_graph(10)
+        back = rs_graph_from_dict(rs_graph_to_dict(rs))
+        assert back.graph == rs.graph
+        assert back.matchings == rs.matchings
+        assert verify_rs_graph(back.graph, back.matchings)
+
+    def test_rejects_corrupted_partition(self):
+        rs = sum_class_rs_graph(6)
+        data = rs_graph_to_dict(rs)
+        # Duplicate an edge across matchings: no longer a partition.
+        data["matchings"][0].append(data["matchings"][-1][0])
+        with pytest.raises(ValueError):
+            rs_graph_from_dict(data)
+
+
+class TestInstanceIO:
+    def test_roundtrip_preserves_everything(self):
+        hard = scaled_distribution(m=8, k=2)
+        inst = sample_dmm(hard, random.Random(2))
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.j_star == inst.j_star
+        assert back.sigma == inst.sigma
+        assert back.indicators == inst.indicators
+        assert back.graph == inst.graph
+        assert back.public_labels == inst.public_labels
+        assert back.union_special_matching == inst.union_special_matching
+
+    def test_file_roundtrip(self, tmp_path):
+        hard = micro_distribution(r=1, t=2, k=2)
+        inst = sample_dmm(hard, random.Random(3))
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.graph == inst.graph
+        assert back.hard.k == inst.hard.k
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            instance_from_dict({"format": -1})
+
+    def test_validation_still_applies(self):
+        """Deserialization goes through DMMInstance validation."""
+        hard = micro_distribution(r=1, t=2, k=2)
+        inst = sample_dmm(hard, random.Random(4))
+        data = instance_to_dict(inst)
+        data["j_star"] = 99
+        with pytest.raises(ValueError):
+            instance_from_dict(data)

@@ -1,0 +1,71 @@
+"""Tests for the low-degree-only attack and the ATK experiment."""
+
+import random
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.graphs import complete_graph, is_valid_matching, path_graph
+from repro.lowerbound import (
+    attack_with_matching_protocol,
+    sample_dmm,
+    scaled_distribution,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.protocols import LowDegreeOnlyMatching
+
+
+class TestLowDegreeOnly:
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            LowDegreeOnlyMatching(-1)
+
+    def test_silent_above_threshold(self):
+        g = complete_graph(10)  # all degrees 9
+        run = run_protocol(g, LowDegreeOnlyMatching(3), PublicCoins(0))
+        assert run.output == set()
+        # Everyone sends just the empty-list header.
+        assert run.max_bits <= 8
+
+    def test_full_recovery_below_threshold(self):
+        g = path_graph(6)  # all degrees <= 2
+        run = run_protocol(g, LowDegreeOnlyMatching(2), PublicCoins(1))
+        from repro.graphs import is_maximal_matching
+
+        assert is_maximal_matching(g, run.output)
+
+    def test_identifies_unique_vertices_on_dmm(self):
+        """Unique vertices are low-degree on D_MM; with the threshold
+        between unique and public degrees, the attack recovers the
+        unique-unique edges (relaxed task) at low average cost."""
+        hard = scaled_distribution(m=12, k=6)
+        threshold = max(2, hard.rs.graph.max_degree() // 2)
+        result = attack_with_matching_protocol(
+            hard, LowDegreeOnlyMatching(threshold), trials=10, seed=1
+        )
+        assert result.relaxed_success_rate >= 0.6
+        assert result.mean_bits < result.max_bits
+
+    def test_output_valid(self):
+        hard = scaled_distribution(m=10, k=3)
+        inst = sample_dmm(hard, random.Random(5))
+        run = run_protocol(
+            inst.graph, LowDegreeOnlyMatching(4), PublicCoins(5), n=hard.n
+        )
+        assert is_valid_matching(inst.graph, run.output)
+
+
+class TestATKExperiment:
+    def test_rows_cover_families(self):
+        data = run_experiment("ATK", m=10, k=3, trials=5, seed=0).data
+        names = {row["protocol"] for row in data["rows"]}
+        assert any(n.startswith("sampled-edges") for n in names)
+        assert any(n.startswith("priority-edge") for n in names)
+        assert any(n.startswith("linear-l0") for n in names)
+        assert any(n.startswith("low-degree-only") for n in names)
+
+    def test_no_lower_bound_violation(self):
+        data = run_experiment("ATK", m=10, k=3, trials=5, seed=0).data
+        for row in data["rows"]:
+            if row["strict_rate"] > 0.99:
+                assert row["max_bits"] >= data["required_bits"]

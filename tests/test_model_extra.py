@@ -1,0 +1,134 @@
+"""Additional model-layer tests: adaptive semantics, coins, transcripts."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.model import (
+    AdaptiveProtocol,
+    BitWriter,
+    Message,
+    PublicCoins,
+    run_adaptive_protocol,
+    run_protocol,
+    views_of,
+)
+from repro.model.runner import AdaptiveRun
+
+
+class _EchoRounds(AdaptiveProtocol):
+    """Each round every player sends its degree; the referee broadcasts
+    the running total and finally returns the per-round totals."""
+
+    name = "echo-rounds"
+
+    def __init__(self, rounds: int) -> None:
+        self._rounds = rounds
+
+    @property
+    def num_rounds(self) -> int:
+        return self._rounds
+
+    def sketch(self, view, coins, round_index, broadcasts):
+        w = BitWriter()
+        w.write_varint(view.degree + round_index)
+        return w.to_message()
+
+    def referee_round(self, n, round_index, sketches, coins, broadcasts):
+        total = sum(m.reader().read_varint() for m in sketches.values())
+        if round_index == self.num_rounds - 1:
+            return list(broadcasts) + [total]
+        return total
+
+
+class TestAdaptiveRunner:
+    def test_single_round_degenerates(self):
+        g = path_graph(4)
+        run = run_adaptive_protocol(g, _EchoRounds(1), PublicCoins(0))
+        assert run.output == [2 * g.num_edges()]
+        assert len(run.transcripts) == 1
+        assert run.broadcasts == ()
+
+    def test_broadcasts_threaded_through(self):
+        g = path_graph(4)
+        run = run_adaptive_protocol(g, _EchoRounds(3), PublicCoins(0))
+        # Round r total = 2|E| + r*n.
+        base = 2 * g.num_edges()
+        assert run.output == [base, base + 4, base + 8]
+        assert list(run.broadcasts) == [base, base + 4]
+
+    def test_max_bits_sums_across_rounds(self):
+        g = cycle_graph(5)
+        run = run_adaptive_protocol(g, _EchoRounds(2), PublicCoins(0))
+        assert run.max_bits == sum(run.max_bits_per_round)
+
+    def test_empty_adaptive_run(self):
+        run = AdaptiveRun(output=None, transcripts=(), broadcasts=())
+        assert run.max_bits == 0
+        assert run.max_bits_per_round == ()
+
+
+class TestCoinsStatistics:
+    def test_uniform_int_covers_range(self):
+        coins = PublicCoins(99)
+        seen = {coins.uniform_int(f"draw/{i}", 4) for i in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_rng_streams_look_independent(self):
+        coins = PublicCoins(3)
+        a = [coins.rng(f"a/{i}").random() for i in range(50)]
+        b = [coins.rng(f"b/{i}").random() for i in range(50)]
+        # Crude decorrelation check: means differ from pairwise products.
+        mean_a = sum(a) / len(a)
+        mean_b = sum(b) / len(b)
+        cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b)) / len(a)
+        assert abs(cov) < 0.05
+
+    def test_child_streams_differ_from_parent(self):
+        coins = PublicCoins(4)
+        child = coins.child("x")
+        assert coins.rng("z").random() != child.rng("z").random()
+
+
+class TestMessageSemantics:
+    def test_message_equality_by_bits(self):
+        w1, w2 = BitWriter(), BitWriter()
+        w1.write_uint(5, 4)
+        w2.write_uint(5, 4)
+        assert w1.to_message() == w2.to_message()
+
+    def test_message_is_hashable(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert {w.to_message(): "x"}
+
+    def test_empty_message(self):
+        assert Message(bits=()).num_bits == 0
+
+
+class TestViewsIsolation:
+    def test_view_is_immutable(self):
+        g = path_graph(3)
+        view = views_of(g)[0]
+        with pytest.raises(AttributeError):
+            view.vertex = 9  # frozen dataclass
+
+    def test_protocol_cannot_see_beyond_view(self):
+        """The runner passes only VertexView objects to sketch()."""
+        g = path_graph(4)
+        seen_types = []
+
+        from repro.model import SketchProtocol, VertexView
+
+        class Probe(SketchProtocol):
+            name = "probe"
+
+            def sketch(self, view, coins):
+                seen_types.append(type(view))
+                return Message(bits=())
+
+            def decode(self, n, sketches, coins):
+                return None
+
+        run_protocol(g, Probe(), PublicCoins(0))
+        assert all(t is VertexView for t in seen_types)
+        assert len(seen_types) == 4

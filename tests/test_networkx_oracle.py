@@ -1,0 +1,102 @@
+"""Cross-validation of our from-scratch algorithms against networkx.
+
+The library itself is stdlib-only; these tests use networkx purely as an
+independent oracle for the algorithms everything else leans on.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    charikar_peeling,
+    connected_components,
+    count_triangles,
+    erdos_renyi,
+    hopcroft_karp,
+    konig_cover,
+    maximum_matching,
+    random_bipartite,
+    subgraph_density,
+)
+from repro.graphs.builders import spanning_forest_edges
+
+
+def to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestMatchingOracle:
+    @given(st.integers(0, 120), st.floats(0.1, 0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_blossom_matches_networkx(self, seed, p):
+        g = erdos_renyi(11, p, random.Random(seed))
+        ours = len(maximum_matching(g))
+        theirs = len(nx.max_weight_matching(to_nx(g), maxcardinality=True))
+        assert ours == theirs
+
+    @given(st.integers(0, 120), st.floats(0.1, 0.8))
+    @settings(max_examples=30, deadline=None)
+    def test_hopcroft_karp_matches_networkx(self, seed, p):
+        g = random_bipartite(7, 7, p, random.Random(seed))
+        ours = len(hopcroft_karp(g))
+        theirs = len(
+            nx.bipartite.maximum_matching(to_nx(g), top_nodes=range(7))
+        ) // 2
+        assert ours == theirs
+
+    @given(st.integers(0, 120), st.floats(0.1, 0.8))
+    @settings(max_examples=30, deadline=None)
+    def test_konig_matches_networkx_vertex_cover(self, seed, p):
+        g = random_bipartite(6, 6, p, random.Random(seed))
+        ours = len(konig_cover(g))
+        matching = nx.bipartite.maximum_matching(to_nx(g), top_nodes=range(6))
+        theirs = len(nx.bipartite.to_vertex_cover(to_nx(g), matching, top_nodes=range(6)))
+        assert ours == theirs
+
+
+class TestStructureOracle:
+    @given(st.integers(0, 120), st.floats(0.05, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_components_match(self, seed, p):
+        g = erdos_renyi(14, p, random.Random(seed))
+        ours = sorted(sorted(c) for c in connected_components(g))
+        theirs = sorted(sorted(c) for c in nx.connected_components(to_nx(g)))
+        assert ours == theirs
+
+    @given(st.integers(0, 120), st.floats(0.1, 0.7))
+    @settings(max_examples=30, deadline=None)
+    def test_triangles_match(self, seed, p):
+        g = erdos_renyi(12, p, random.Random(seed))
+        ours = count_triangles(g)
+        theirs = sum(nx.triangles(to_nx(g)).values()) // 3
+        assert ours == theirs
+
+    @given(st.integers(0, 120), st.floats(0.1, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_spanning_forest_size_matches(self, seed, p):
+        g = erdos_renyi(13, p, random.Random(seed))
+        ours = len(spanning_forest_edges(g))
+        theirs = g.num_vertices() - nx.number_connected_components(to_nx(g))
+        assert ours == theirs
+
+
+class TestDensestOracle:
+    @given(st.integers(0, 60), st.floats(0.2, 0.7))
+    @settings(max_examples=15, deadline=None)
+    def test_density_definition_agrees(self, seed, p):
+        g = erdos_renyi(10, p, random.Random(seed))
+        best, density = charikar_peeling(g)
+        if best:
+            sub = to_nx(g).subgraph(best)
+            assert density == pytest.approx(
+                sub.number_of_edges() / sub.number_of_nodes()
+            )
+            assert subgraph_density(g, best) == pytest.approx(density)

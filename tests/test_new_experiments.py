@@ -1,0 +1,74 @@
+"""Tests for the later-wave experiments: STR and ABL."""
+
+from repro.experiments import all_experiments, run_experiment
+
+
+class TestRegistryComplete:
+    def test_new_ids_present(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert {"ATK", "STR", "EPART", "AVG", "ABL"} <= ids
+
+
+class TestSTR:
+    def test_equivalences_hold(self):
+        data = run_experiment("STR", n=10, trials=3, seed=0).data
+        assert data["forest_ok"] == 3
+        assert data["identical"] == 3
+        assert data["greedy_ok"] == 3
+
+    def test_l0_matching_partial(self):
+        data = run_experiment("STR", n=10, trials=3, seed=1).data
+        assert data["mean_l0_matching"] >= 0
+
+
+class TestABL:
+    def test_knees_visible(self):
+        data = run_experiment("ABL", trials=3, seed=0).data
+        rows = data["rows"]
+        col = sorted(
+            (r for r in rows if r["knob"] == "coloring_list_size"),
+            key=lambda r: r["value"],
+        )
+        assert col[0]["success"] <= col[-1]["success"]
+        agm = sorted(
+            (r for r in rows if r["knob"] == "agm_repetitions"),
+            key=lambda r: r["value"],
+        )
+        assert agm[-1]["success"] >= agm[0]["success"]
+
+    def test_uniformization_variants_reported(self):
+        data = run_experiment("ABL", trials=2, seed=0).data
+        uni = [r for r in data["rows"] if r["knob"] == "uniformization"]
+        assert len(uni) == 3
+        assert {r["r"] for r in uni} >= {1}
+
+
+class TestGAP:
+    def test_minimal_budget_monotone_pieces(self):
+        data = run_experiment("GAP", ms=[8, 12], k=3, trials=6, seed=0).data
+        rows = data["rows"]
+        assert len(rows) == 2
+        for row in rows:
+            assert 0 <= row["budget"] <= row["n"]
+            assert row["measured_bits"] < row["trivial_bits"]
+            assert row["measured_bits"] >= row["proof_chain_bits"]
+
+    def test_binary_search_helper(self):
+        from repro.experiments.gap import minimal_budget_for_success
+        from repro.lowerbound import scaled_distribution
+
+        hard = scaled_distribution(m=8, k=2)
+        budget, bits = minimal_budget_for_success(hard, 1.0, trials=4, seed=0)
+        # Full budget always works, so the search terminates below n.
+        assert 0 <= budget <= hard.n
+        assert bits > 0
+
+
+class TestSTAB:
+    def test_all_seeds_consistent(self):
+        data = run_experiment("STAB", seeds=[1, 2], trials=6).data
+        assert len(data["rows"]) == 2
+        for row in data["rows"]:
+            assert row["t1b_full_budget"] == 1.0
+            assert row["t1b_zero_budget"] <= 0.35
+            assert row["c31_in_rate"] >= row["c31_below_rate"]

@@ -1,0 +1,147 @@
+"""Tests for the priority-based and linear one-round protocols."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    is_independent_set,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_matching,
+    matching_graph,
+    path_graph,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.protocols import (
+    LinearL0Matching,
+    PatchedLocalMinMIS,
+    PriorityEdgeMatching,
+    SampledEdgesMatching,
+    edge_priority,
+)
+
+
+class TestEdgePriority:
+    def test_symmetric(self):
+        coins = PublicCoins(1)
+        assert edge_priority(coins, (3, 7)) == edge_priority(coins, (7, 3))
+
+    def test_deterministic(self):
+        coins = PublicCoins(2)
+        assert edge_priority(coins, (0, 1)) == edge_priority(coins, (0, 1))
+
+    def test_distinct_edges_differ(self):
+        coins = PublicCoins(3)
+        assert edge_priority(coins, (0, 1)) != edge_priority(coins, (0, 2))
+
+
+class TestPriorityEdgeMatching:
+    def test_full_budget_maximal(self):
+        g = erdos_renyi(14, 0.4, random.Random(0))
+        run = run_protocol(g, PriorityEdgeMatching(14), PublicCoins(0))
+        assert is_maximal_matching(g, run.output)
+
+    def test_output_valid_at_any_budget(self):
+        g = erdos_renyi(14, 0.4, random.Random(1))
+        for budget in (0, 1, 3):
+            run = run_protocol(g, PriorityEdgeMatching(budget), PublicCoins(1))
+            assert is_valid_matching(g, run.output)
+
+    def test_minimum_priority_edge_always_matched(self):
+        """The coordination guarantee: both endpoints report the global
+        minimum-priority edge, and greedy-by-priority matches it first."""
+        for seed in range(8):
+            g = erdos_renyi(14, 0.4, random.Random(seed))
+            if not g.num_edges():
+                continue
+            coins = PublicCoins(seed)
+            best = min(g.edges(), key=lambda e: edge_priority(coins, e))
+            run = run_protocol(g, PriorityEdgeMatching(1), coins)
+            assert best in run.output
+
+    def test_coordination_concentrates_reports(self):
+        """The flip side: on dense graphs priority reports pile onto few
+        edges, so uniform sampling tends to cover more and match more."""
+        g = complete_graph(24)
+        pri_total = uni_total = 0
+        for seed in range(12):
+            coins = PublicCoins(seed)
+            pri_total += len(run_protocol(g, PriorityEdgeMatching(1), coins).output)
+            uni_total += len(run_protocol(g, SampledEdgesMatching(1), coins).output)
+        assert uni_total >= pri_total
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            PriorityEdgeMatching(-1)
+
+
+class TestPatchedLocalMinMIS:
+    def test_contains_local_minima(self):
+        from repro.protocols import OneRoundLocalMinMIS
+
+        g = erdos_renyi(15, 0.3, random.Random(2))
+        coins = PublicCoins(4)
+        patched = run_protocol(g, PatchedLocalMinMIS(15), coins)
+        plain = run_protocol(g, OneRoundLocalMinMIS(), coins)
+        assert plain.output <= patched.output
+
+    def test_full_budget_maximal_independent(self):
+        g = erdos_renyi(15, 0.3, random.Random(3))
+        run = run_protocol(g, PatchedLocalMinMIS(15), PublicCoins(5))
+        assert is_maximal_independent_set(g, run.output)
+
+    def test_small_budget_can_break_independence(self):
+        g = complete_graph(16)
+        run = run_protocol(g, PatchedLocalMinMIS(1), PublicCoins(6))
+        # On K16 with 1 sampled edge, the greedy extension almost surely
+        # adds adjacent vertices.
+        assert not is_independent_set(g, run.output) or len(run.output) == 1
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            PatchedLocalMinMIS(-1)
+
+
+class TestLinearL0Matching:
+    def test_perfect_matching_recovered(self):
+        g = matching_graph(6)
+        run = run_protocol(g, LinearL0Matching(2), PublicCoins(7))
+        assert run.output == g.edge_set()
+
+    def test_usually_valid_on_sparse_graphs(self):
+        ok = 0
+        for seed in range(6):
+            g = cycle_graph(12)
+            run = run_protocol(g, LinearL0Matching(3), PublicCoins(seed))
+            ok += is_valid_matching(g, run.output)
+        assert ok >= 5  # fingerprint collisions are rare
+
+    def test_zero_samplers_empty(self):
+        g = path_graph(4)
+        run = run_protocol(g, LinearL0Matching(0), PublicCoins(8))
+        assert run.output == set()
+
+    def test_linearity_cost_polylog_per_sampler(self):
+        g = cycle_graph(16)
+        one = run_protocol(g, LinearL0Matching(1), PublicCoins(9)).max_bits
+        three = run_protocol(g, LinearL0Matching(3), PublicCoins(9)).max_bits
+        assert three == 3 * one
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LinearL0Matching(-1)
+
+    def test_fails_on_dmm_like_everyone_else(self):
+        """The linear protocol is a SketchProtocol: the Theorem-1
+        adversary applies unchanged."""
+        from repro.lowerbound import attack_with_matching_protocol, scaled_distribution
+
+        hard = scaled_distribution(m=10, k=3)
+        result = attack_with_matching_protocol(
+            hard, LinearL0Matching(1), trials=6, seed=0
+        )
+        assert result.strict_success_rate < 0.5

@@ -1,0 +1,54 @@
+"""Tests for the private-coin coloring contrast ([18] separation)."""
+
+import random
+
+import pytest
+
+from repro.graphs import complete_graph, cycle_graph, erdos_renyi
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import (
+    PaletteSparsificationColoring,
+    PrivateCoinColoring,
+    is_proper_coloring,
+)
+
+
+class TestPrivateCoinColoring:
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            PrivateCoinColoring(max_degree=-1)
+
+    def test_produces_proper_coloring(self):
+        for seed in range(5):
+            g = erdos_renyi(20, 0.3, random.Random(seed))
+            delta = g.max_degree()
+            run = run_protocol(g, PrivateCoinColoring(delta), PublicCoins(seed))
+            assert run.output.complete
+            assert is_proper_coloring(g, run.output.colors, delta + 1)
+
+    def test_cost_dominated_by_adjacency_row(self):
+        g = cycle_graph(64)
+        delta = g.max_degree()
+        run = run_protocol(g, PrivateCoinColoring(delta), PublicCoins(1))
+        assert run.max_bits >= 64  # the n-bit row is unavoidable
+
+    def test_public_coin_advantage_grows_with_n(self):
+        """The [18]-flavored separation: the public-coin protocol's cost
+        is ~polylog while the private-coin one pays n; the ratio widens
+        as n grows on bounded-degree graphs."""
+        ratios = []
+        for n in (32, 128):
+            g = cycle_graph(n)
+            delta = g.max_degree()
+            coins = PublicCoins(2)
+            public = run_protocol(g, PaletteSparsificationColoring(delta), coins)
+            private = run_protocol(g, PrivateCoinColoring(delta), coins)
+            assert public.output.complete and private.output.complete
+            ratios.append(private.max_bits / public.max_bits)
+        assert ratios[1] > ratios[0]
+
+    def test_dense_graph_still_works(self):
+        g = complete_graph(10)
+        run = run_protocol(g, PrivateCoinColoring(9, list_size=10), PublicCoins(3))
+        assert run.output.complete
+        assert is_proper_coloring(g, run.output.colors, 10)

@@ -1,0 +1,212 @@
+"""Tests for the matching / MIS protocols in the sketching model."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    is_independent_set,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_matching,
+    matching_graph,
+    path_graph,
+    star_graph,
+)
+from repro.model import PublicCoins, run_adaptive_protocol, run_protocol
+from repro.protocols import (
+    DegreeAdaptiveMatching,
+    FilteringMatching,
+    FullNeighborhoodMIS,
+    FullNeighborhoodMatching,
+    LubyAdaptiveMIS,
+    OneRoundLocalMinMIS,
+    SampledEdgesMIS,
+    SampledEdgesMatching,
+)
+
+
+class TestFullNeighborhood:
+    def test_matching_always_maximal(self):
+        for seed in range(5):
+            g = erdos_renyi(14, 0.3, random.Random(seed))
+            run = run_protocol(g, FullNeighborhoodMatching(), PublicCoins(seed))
+            assert is_maximal_matching(g, run.output)
+
+    def test_mis_always_maximal(self):
+        for seed in range(5):
+            g = erdos_renyi(14, 0.3, random.Random(seed))
+            run = run_protocol(g, FullNeighborhoodMIS(), PublicCoins(seed))
+            assert is_maximal_independent_set(g, run.output)
+
+    def test_cost_exactly_n_bits(self):
+        g = erdos_renyi(20, 0.5, random.Random(0))
+        run = run_protocol(g, FullNeighborhoodMatching(), PublicCoins(0))
+        assert run.max_bits == 20
+        assert run.average_bits == 20.0
+
+    def test_empty_graph(self):
+        from repro.graphs import empty_graph
+
+        run = run_protocol(empty_graph(5), FullNeighborhoodMatching(), PublicCoins(1))
+        assert run.output == set()
+        run = run_protocol(empty_graph(5), FullNeighborhoodMIS(), PublicCoins(1))
+        assert run.output == {0, 1, 2, 3, 4}
+
+
+class TestSampledMatching:
+    def test_zero_budget_outputs_empty(self):
+        g = cycle_graph(8)
+        run = run_protocol(g, SampledEdgesMatching(0), PublicCoins(0))
+        assert run.output == set()
+
+    def test_large_budget_recovers_full_protocol(self):
+        g = erdos_renyi(12, 0.4, random.Random(1))
+        run = run_protocol(g, SampledEdgesMatching(12), PublicCoins(1))
+        assert is_maximal_matching(g, run.output)
+
+    def test_output_always_valid_matching(self):
+        # Sampled-graph matchings only use real edges: valid even when small.
+        for budget in (1, 2, 3):
+            g = erdos_renyi(15, 0.4, random.Random(2))
+            run = run_protocol(g, SampledEdgesMatching(budget), PublicCoins(2))
+            assert is_valid_matching(g, run.output)
+
+    def test_small_budget_can_miss_maximality(self):
+        # A star: the center samples 1 edge, all leaves report the center;
+        # matching is maximal here, so use two stars sharing no vertices
+        # with cross edges — simpler: dense graph, budget 1.
+        g = complete_graph(16)
+        run = run_protocol(g, SampledEdgesMatching(1), PublicCoins(3))
+        # With budget 1 on K16 the sampled graph has <= 16 edges and the
+        # greedy matching is usually far from maximal on K16 (needs 8).
+        assert len(run.output) <= 8
+
+    def test_cost_scales_with_budget(self):
+        g = complete_graph(16)
+        low = run_protocol(g, SampledEdgesMatching(1), PublicCoins(4)).max_bits
+        high = run_protocol(g, SampledEdgesMatching(8), PublicCoins(4)).max_bits
+        assert high > low
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            SampledEdgesMatching(-1)
+        with pytest.raises(ValueError):
+            DegreeAdaptiveMatching(-1)
+        with pytest.raises(ValueError):
+            SampledEdgesMIS(-1)
+
+
+class TestDegreeAdaptive:
+    def test_low_degree_graph_solved_exactly(self):
+        g = cycle_graph(20)  # all degrees 2 <= cap
+        run = run_protocol(g, DegreeAdaptiveMatching(4), PublicCoins(5))
+        assert is_maximal_matching(g, run.output)
+
+    def test_caps_high_degree(self):
+        g = star_graph(30)
+        run = run_protocol(g, DegreeAdaptiveMatching(4), PublicCoins(6))
+        # Center sends only 4 IDs; leaves send 1 each. Cost stays small.
+        assert run.max_bits < 100
+        assert is_maximal_matching(g, run.output)  # any star edge is maximal
+
+
+class TestSampledMIS:
+    def test_large_budget_maximal(self):
+        g = erdos_renyi(12, 0.4, random.Random(7))
+        run = run_protocol(g, SampledEdgesMIS(12), PublicCoins(7))
+        assert is_maximal_independent_set(g, run.output)
+
+    def test_small_budget_can_be_invalid(self):
+        # On K16 with 1 sampled edge per vertex the referee's 'MIS' will
+        # almost surely contain two adjacent vertices.
+        g = complete_graph(16)
+        run = run_protocol(g, SampledEdgesMIS(1), PublicCoins(8))
+        assert not is_independent_set(g, run.output) or len(run.output) == 1
+
+
+class TestOneRoundLocalMin:
+    def test_always_independent(self):
+        for seed in range(8):
+            g = erdos_renyi(15, 0.3, random.Random(seed))
+            run = run_protocol(g, OneRoundLocalMinMIS(), PublicCoins(seed))
+            assert is_independent_set(g, run.output)
+
+    def test_one_bit_cost(self):
+        g = cycle_graph(10)
+        run = run_protocol(g, OneRoundLocalMinMIS(), PublicCoins(9))
+        assert run.max_bits == 1
+
+    def test_nonempty_on_nonempty_graph(self):
+        g = path_graph(6)
+        run = run_protocol(g, OneRoundLocalMinMIS(), PublicCoins(10))
+        assert run.output
+
+    def test_usually_not_maximal_on_long_paths(self):
+        failures = 0
+        for seed in range(10):
+            g = path_graph(30)
+            run = run_protocol(g, OneRoundLocalMinMIS(), PublicCoins(100 + seed))
+            if not is_maximal_independent_set(g, run.output):
+                failures += 1
+        assert failures >= 5  # one round is almost never enough
+
+
+class TestLubyAdaptive:
+    def test_enough_phases_reaches_mis(self):
+        for seed in range(5):
+            g = erdos_renyi(15, 0.3, random.Random(seed))
+            run = run_adaptive_protocol(g, LubyAdaptiveMIS(num_phases=15), PublicCoins(seed))
+            assert is_maximal_independent_set(g, run.output)
+
+    def test_output_always_independent(self):
+        g = erdos_renyi(15, 0.5, random.Random(11))
+        run = run_adaptive_protocol(g, LubyAdaptiveMIS(num_phases=1), PublicCoins(11))
+        assert is_independent_set(g, run.output)
+
+    def test_one_bit_per_round(self):
+        g = cycle_graph(8)
+        run = run_adaptive_protocol(g, LubyAdaptiveMIS(num_phases=3), PublicCoins(12))
+        assert all(bits == 1 for bits in run.max_bits_per_round)
+        assert run.max_bits == 6  # 2 * phases bits total per player
+
+    def test_rejects_zero_phases(self):
+        with pytest.raises(ValueError):
+            LubyAdaptiveMIS(num_phases=0)
+
+
+class TestFilteringMatching:
+    def test_two_rounds_usually_maximal(self):
+        hits = 0
+        for seed in range(8):
+            g = erdos_renyi(24, 0.4, random.Random(seed))
+            run = run_adaptive_protocol(g, FilteringMatching(num_rounds=2), PublicCoins(seed))
+            assert is_valid_matching(g, run.output)
+            if is_maximal_matching(g, run.output):
+                hits += 1
+        assert hits >= 6
+
+    def test_more_rounds_always_helps_to_maximality(self):
+        g = complete_graph(20)
+        run = run_adaptive_protocol(g, FilteringMatching(num_rounds=4), PublicCoins(13))
+        assert is_maximal_matching(g, run.output)
+
+    def test_round_cost_near_sqrt_n(self):
+        g = complete_graph(36)
+        run = run_adaptive_protocol(g, FilteringMatching(num_rounds=2), PublicCoins(14))
+        # cap = sqrt(36) = 6 IDs of 6 bits each + varint header.
+        assert run.max_bits_per_round[0] <= 6 * 6 + 16
+
+    def test_single_round_is_plain_sampling(self):
+        g = cycle_graph(10)
+        run = run_adaptive_protocol(g, FilteringMatching(num_rounds=1), PublicCoins(15))
+        assert is_valid_matching(g, run.output)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FilteringMatching(num_rounds=0)
+        with pytest.raises(ValueError):
+            FilteringMatching(cap_multiplier=0)

@@ -1,0 +1,195 @@
+"""Tests for the Ruzsa-Szemerédi constructions (Proposition 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import matched_vertices
+from repro.rsgraphs import (
+    RSGraph,
+    best_uniform,
+    build_catalog_entry,
+    catalog,
+    is_induced_matching,
+    proposition21_r,
+    proposition21_t,
+    sum_class_rs_graph,
+    tripartite_rs_graph,
+    uniformize,
+    verify_edge_partition,
+    verify_rs_graph,
+)
+
+
+class TestSumClassConstruction:
+    def test_small_instance_is_rs(self):
+        rs = sum_class_rs_graph(8)
+        assert verify_rs_graph(rs.graph, rs.matchings)
+
+    def test_edge_partition(self):
+        rs = sum_class_rs_graph(12)
+        assert verify_edge_partition(rs.graph, rs.matchings)
+
+    def test_every_matching_induced(self):
+        rs = sum_class_rs_graph(12)
+        for m in rs.matchings:
+            assert is_induced_matching(rs.graph, m)
+
+    def test_vertex_count(self):
+        rs = sum_class_rs_graph(10)
+        assert rs.num_vertices == 10 + 19  # m + (2m - 1)
+
+    def test_bipartite_structure(self):
+        rs = sum_class_rs_graph(9)
+        for u, v in rs.graph.edges():
+            assert (u < 9) != (v < 9)
+
+    def test_custom_ap_free_set(self):
+        rs = sum_class_rs_graph(10, ap_free=[0, 1, 3, 4])
+        assert verify_rs_graph(rs.graph, rs.matchings)
+        assert rs.graph.num_edges() == 10 * 4
+
+    def test_rejects_ap_containing_set(self):
+        with pytest.raises(ValueError):
+            sum_class_rs_graph(10, ap_free=[0, 1, 2])
+
+    def test_rejects_out_of_range_set(self):
+        with pytest.raises(ValueError):
+            sum_class_rs_graph(5, ap_free=[0, 7])
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            sum_class_rs_graph(0)
+
+    @given(st.integers(min_value=1, max_value=24))
+    @settings(max_examples=12, deadline=None)
+    def test_property_rs_for_all_m(self, m):
+        rs = sum_class_rs_graph(m)
+        assert verify_rs_graph(rs.graph, rs.matchings)
+
+    def test_matching_endpoints(self):
+        rs = sum_class_rs_graph(8)
+        j = max(range(rs.num_matchings), key=lambda i: len(rs.matchings[i]))
+        endpoints = rs.matching_endpoints(j)
+        assert endpoints == matched_vertices(rs.matchings[j])
+        assert len(endpoints) == 2 * len(rs.matchings[j])
+
+
+class TestTripartiteConstruction:
+    def test_small_instance_is_rs(self):
+        rs = tripartite_rs_graph(6)
+        assert verify_rs_graph(rs.graph, rs.matchings)
+
+    def test_edge_count_three_per_pair(self):
+        m = 7
+        rs = tripartite_rs_graph(m)
+        from repro.arithmetic import best_ap_free_set
+
+        a = best_ap_free_set(m)
+        assert rs.graph.num_edges() == 3 * m * len(a)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=8, deadline=None)
+    def test_property_rs_for_all_m(self, m):
+        rs = tripartite_rs_graph(m)
+        assert verify_rs_graph(rs.graph, rs.matchings)
+
+    def test_rejects_ap_containing_set(self):
+        with pytest.raises(ValueError):
+            tripartite_rs_graph(10, ap_free=[1, 2, 3])
+
+
+class TestUniformize:
+    def test_uniform_sizes(self):
+        rs = sum_class_rs_graph(16)
+        uni = uniformize(rs, 2)
+        assert uni.is_uniform
+        assert uni.r == 2
+        assert verify_rs_graph(uni.graph, uni.matchings, r=2)
+
+    def test_uniformize_keeps_vertices(self):
+        rs = sum_class_rs_graph(16)
+        uni = uniformize(rs, 2)
+        assert uni.graph.vertices == rs.graph.vertices
+
+    def test_uniformize_too_large(self):
+        rs = sum_class_rs_graph(4)
+        with pytest.raises(ValueError):
+            uniformize(rs, 10_000)
+
+    def test_uniformize_requires_positive_r(self):
+        rs = sum_class_rs_graph(4)
+        with pytest.raises(ValueError):
+            uniformize(rs, 0)
+
+    def test_best_uniform_is_valid_rs(self):
+        rs = sum_class_rs_graph(20)
+        uni = best_uniform(rs)
+        assert uni.is_uniform
+        assert verify_rs_graph(uni.graph, uni.matchings, r=uni.r)
+
+    def test_best_uniform_maximizes_edges(self):
+        rs = sum_class_rs_graph(20)
+        uni = best_uniform(rs)
+        best_edges = uni.r * uni.num_matchings
+        for r in set(rs.matching_sizes):
+            if r == 0:
+                continue
+            t = sum(1 for s in rs.matching_sizes if s >= r)
+            assert r * t <= best_edges
+
+    def test_min_t_constraint(self):
+        rs = sum_class_rs_graph(20)
+        uni = best_uniform(rs, min_t=10)
+        assert uni.num_matchings >= 10
+
+    def test_r_property_raises_on_nonuniform(self):
+        rs = sum_class_rs_graph(16)
+        if not rs.is_uniform:
+            with pytest.raises(ValueError):
+                _ = rs.r
+
+
+class TestCatalog:
+    def test_catalog_entry(self):
+        uni, params = build_catalog_entry(12)
+        assert params.n == uni.num_vertices
+        assert params.r == uni.r
+        assert params.t == uni.num_matchings
+        assert params.num_edges == params.r * params.t
+
+    def test_catalog_defaults(self):
+        rows = catalog([4, 8])
+        assert len(rows) == 2
+        assert rows[1].n > rows[0].n
+
+    def test_asymptotic_formulas(self):
+        assert proposition21_t(300) == 100.0
+        assert 0 < proposition21_r(300) < 300
+        assert proposition21_r(1) == 1.0
+
+    def test_density_ratio_reasonable(self):
+        _, params = build_catalog_entry(64)
+        # r*t = edges; per-vertex density stays below |A| trivially.
+        assert params.edge_density <= params.ap_free_size
+
+
+class TestTripartiteUniformize:
+    def test_uniformize_tripartite(self):
+        rs = tripartite_rs_graph(8)
+        uni = best_uniform(rs)
+        assert uni.is_uniform
+        assert verify_rs_graph(uni.graph, uni.matchings, r=uni.r)
+
+    def test_tripartite_three_families_counted(self):
+        m = 6
+        rs = tripartite_rs_graph(m)
+        # One YZ family per x, one XZ per y, one XY per z with edges:
+        # families with zero members are absent, so t <= m + 2m + 3m.
+        assert rs.num_matchings <= 6 * m
+
+    def test_matching_endpoints_disjoint_parts(self):
+        rs = tripartite_rs_graph(5)
+        for j, matching in enumerate(rs.matchings):
+            endpoints = rs.matching_endpoints(j)
+            assert len(endpoints) == 2 * len(matching)

@@ -1,0 +1,62 @@
+"""Integration tests at in-regime scale — the whole pipeline, no mocks.
+
+These exercise D_MM well inside Claim 3.1's parameter regime
+(k·r >= 12(N - 2r)) at thousands of vertices: sampling, the claim, the
+reduction, and the budget threshold all behave as Section 3/4 predict.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.claim31 import in_claim_regime
+from repro.lowerbound import (
+    attack_with_matching_protocol,
+    min_unique_unique_edges,
+    run_reduction,
+    sample_dmm,
+    scaled_distribution,
+)
+from repro.model import PublicCoins
+from repro.protocols import FullNeighborhoodMIS, LowDegreeOnlyMatching
+
+
+@pytest.fixture(scope="module")
+def in_regime_instance():
+    hard = scaled_distribution(m=8, k=150)
+    assert in_claim_regime(hard)
+    return hard, sample_dmm(hard, random.Random(0))
+
+
+class TestInRegimePipeline:
+    def test_claim31_holds_comfortably(self, in_regime_instance):
+        hard, inst = in_regime_instance
+        min_uu = min_unique_unique_edges(inst, heuristic_trials=3)
+        assert min_uu >= hard.claim31_threshold
+        # And the counting floor is respected with room.
+        assert min_uu >= len(inst.union_special_matching) - hard.num_public
+
+    def test_reduction_exact_at_scale(self, in_regime_instance):
+        hard, inst = in_regime_instance
+        run = run_reduction(inst, FullNeighborhoodMIS(), PublicCoins(0))
+        assert run.output_is_exactly_survivors
+        assert run.per_player_bits == 2 * 2 * hard.n
+
+    def test_low_degree_attack_succeeds_at_relaxed_task(self, in_regime_instance):
+        hard, _ = in_regime_instance
+        threshold = max(2, hard.rs.graph.max_degree() // 2)
+        result = attack_with_matching_protocol(
+            hard, LowDegreeOnlyMatching(threshold), trials=3, seed=1
+        )
+        assert result.relaxed_success_rate >= 2 / 3
+
+    def test_thousands_of_vertices_sample_fast(self):
+        """m=16, k=600: ~4.8k vertices / ~14k edges — the pipeline stays
+        sub-second per instance, so the regime is testable, not just
+        theoretical."""
+        hard = scaled_distribution(m=16, k=600)
+        assert in_claim_regime(hard)
+        inst = sample_dmm(hard, random.Random(0))
+        assert inst.graph.num_vertices() == hard.n > 4000
+        min_uu = min_unique_unique_edges(inst, heuristic_trials=1)
+        assert min_uu >= hard.claim31_threshold

@@ -1,0 +1,179 @@
+"""Tests for the dynamic graph stream substrate and algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi,
+    is_maximal_matching,
+    is_spanning_forest,
+    is_valid_matching,
+    matching_graph,
+    path_graph,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import AGMParameters, AGMSpanningForest
+from repro.streams import (
+    InsertionOnlyGreedyMatching,
+    Op,
+    StreamEvent,
+    StreamingL0Matching,
+    StreamingSpanningForest,
+    churn_stream,
+    decode_stream_as_referee,
+    final_graph,
+    insertion_stream,
+    legalize,
+    random_order_stream,
+    stream_to_distributed_sketches,
+    validate_stream,
+)
+
+
+class TestStreamEvents:
+    def test_event_normalizes_edge(self):
+        ev = StreamEvent(Op.INSERT, (5, 2))
+        assert ev.edge == (2, 5)
+
+    def test_insertion_stream_valid(self):
+        g = path_graph(5)
+        events = insertion_stream(g.edges())
+        assert validate_stream(events)
+        assert final_graph(5, events) == g
+
+    def test_random_order_stream_covers_graph(self):
+        g = erdos_renyi(10, 0.4, random.Random(0))
+        events = random_order_stream(g, random.Random(1))
+        assert len(events) == g.num_edges()
+        assert final_graph(10, events) == g
+
+    def test_double_insert_invalid(self):
+        events = [StreamEvent(Op.INSERT, (0, 1)), StreamEvent(Op.INSERT, (0, 1))]
+        assert not validate_stream(events)
+
+    def test_delete_before_insert_invalid(self):
+        assert not validate_stream([StreamEvent(Op.DELETE, (0, 1))])
+
+    def test_legalize_reorders(self):
+        events = [
+            StreamEvent(Op.DELETE, (0, 1)),
+            StreamEvent(Op.INSERT, (0, 1)),
+        ]
+        fixed = legalize(events)
+        assert validate_stream(fixed)
+        assert fixed[0].op is Op.INSERT
+
+    def test_legalize_rejects_unmatched_delete(self):
+        with pytest.raises(ValueError):
+            legalize([StreamEvent(Op.DELETE, (0, 1)), StreamEvent(Op.DELETE, (0, 2))])
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_churn_stream_final_graph(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(8, 0.4, rng)
+        events = churn_stream(g, rng, churn_rounds=2)
+        assert validate_stream(events)
+        assert final_graph(8, events) == g
+
+    def test_churn_stream_longer_than_insertions(self):
+        rng = random.Random(3)
+        g = erdos_renyi(10, 0.5, rng)
+        events = churn_stream(g, rng, churn_rounds=2)
+        assert len(events) > g.num_edges()
+
+    def test_churn_rejects_negative_rounds(self):
+        with pytest.raises(ValueError):
+            churn_stream(path_graph(3), random.Random(0), churn_rounds=-1)
+
+
+class TestStreamingSpanningForest:
+    def test_insertion_only(self):
+        g = cycle_graph(10)
+        alg = StreamingSpanningForest(10, PublicCoins(0))
+        alg.process(insertion_stream(g.edges()))
+        assert is_spanning_forest(g, alg.result())
+
+    def test_survives_deletions(self):
+        rng = random.Random(1)
+        g = erdos_renyi(12, 0.4, rng)
+        events = churn_stream(g, rng, churn_rounds=2)
+        alg = StreamingSpanningForest(12, PublicCoins(1)).process(events)
+        assert is_spanning_forest(g, alg.result())
+
+    def test_empty_stream(self):
+        alg = StreamingSpanningForest(5, PublicCoins(2))
+        assert alg.result() == set()
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            StreamingSpanningForest(0, PublicCoins(0))
+
+
+class TestInsertionOnlyGreedy:
+    def test_maximal_on_final_graph(self):
+        g = erdos_renyi(15, 0.3, random.Random(2))
+        alg = InsertionOnlyGreedyMatching().process(random_order_stream(g, random.Random(3)))
+        assert is_maximal_matching(g, alg.result())
+
+    def test_rejects_deletions(self):
+        alg = InsertionOnlyGreedyMatching()
+        alg.update(StreamEvent(Op.INSERT, (0, 1)))
+        with pytest.raises(ValueError):
+            alg.update(StreamEvent(Op.DELETE, (0, 1)))
+
+
+class TestStreamingL0Matching:
+    def test_dynamic_stream_valid_matching(self):
+        rng = random.Random(4)
+        g = erdos_renyi(12, 0.4, rng)
+        events = churn_stream(g, rng, churn_rounds=1)
+        alg = StreamingL0Matching(12, samplers_per_vertex=4, coins=PublicCoins(4))
+        matching = alg.process(events).result()
+        # L0 recoveries can rarely produce a collision edge; on these
+        # seeds the matching is made of real edges.
+        assert is_valid_matching(g, matching)
+
+    def test_perfect_matching_graph_recovered(self):
+        # Degree-1 vertices: each sampler is exactly one-sparse, so the
+        # full matching is found.
+        g = matching_graph(6)
+        alg = StreamingL0Matching(12, samplers_per_vertex=2, coins=PublicCoins(5))
+        matching = alg.process(insertion_stream(g.edges())).result()
+        assert matching == g.edge_set()
+
+    def test_zero_samplers(self):
+        g = path_graph(4)
+        alg = StreamingL0Matching(4, samplers_per_vertex=0, coins=PublicCoins(6))
+        assert alg.process(insertion_stream(g.edges())).result() == set()
+
+    def test_rejects_negative_samplers(self):
+        with pytest.raises(ValueError):
+            StreamingL0Matching(4, samplers_per_vertex=-1, coins=PublicCoins(0))
+
+
+class TestEquivalence:
+    def test_stream_messages_equal_protocol_messages(self):
+        """The maintained sketches are bit-identical to the one-round
+        protocol's messages on the final graph."""
+        rng = random.Random(7)
+        g = erdos_renyi(10, 0.4, rng)
+        coins = PublicCoins(77)
+        params = AGMParameters.for_n(10)
+        stream_msgs = stream_to_distributed_sketches(
+            10, churn_stream(g, rng, churn_rounds=1), coins, params
+        )
+        protocol_run = run_protocol(g, AGMSpanningForest(params), coins)
+        assert stream_msgs == protocol_run.transcript.sketches
+
+    def test_decode_stream_as_referee(self):
+        rng = random.Random(8)
+        g = erdos_renyi(12, 0.35, rng)
+        forest = decode_stream_as_referee(
+            12, churn_stream(g, rng, churn_rounds=1), PublicCoins(88)
+        )
+        assert is_spanning_forest(g, forest)

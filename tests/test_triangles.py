@@ -1,0 +1,106 @@
+"""Tests for triangle counting — exact baselines and the sketch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    count_triangles,
+    cycle_graph,
+    erdos_renyi,
+    is_triangle_free,
+    list_triangles,
+    matching_graph,
+    path_graph,
+    triangles_through_edge,
+)
+from repro.model import PublicCoins, run_protocol
+from repro.sketches import TriangleCountSketch
+
+
+class TestExactCounting:
+    def test_complete_graph_formula(self):
+        # C(n, 3) triangles in K_n.
+        assert count_triangles(complete_graph(6)) == 20
+        assert count_triangles(complete_graph(12)) == 220
+
+    def test_triangle_free_families(self):
+        assert count_triangles(path_graph(10)) == 0
+        assert count_triangles(cycle_graph(8)) == 0
+        assert count_triangles(matching_graph(4)) == 0
+        assert is_triangle_free(cycle_graph(8))
+        assert not is_triangle_free(cycle_graph(3))
+
+    def test_single_triangle(self):
+        g = cycle_graph(3)
+        assert count_triangles(g) == 1
+        assert list_triangles(g) == [(0, 1, 2)]
+
+    def test_triangles_through_edge(self):
+        g = complete_graph(5)
+        assert triangles_through_edge(g, 0, 1) == 3
+        assert triangles_through_edge(g, 0, 99) == 0
+
+    def test_list_matches_count(self):
+        g = erdos_renyi(12, 0.5, random.Random(0))
+        assert len(list_triangles(g)) == count_triangles(g)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_list_triples_are_triangles(self, seed):
+        g = erdos_renyi(10, 0.5, random.Random(seed))
+        for u, v, w in list_triangles(g):
+            assert u < v < w
+            assert g.has_edge(u, v) and g.has_edge(v, w) and g.has_edge(u, w)
+
+
+class TestTriangleSketch:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            TriangleCountSketch(0.0)
+
+    def test_p1_exact(self):
+        g = complete_graph(9)
+        run = run_protocol(g, TriangleCountSketch(1.0), PublicCoins(0))
+        assert run.output.estimate == pytest.approx(count_triangles(g))
+        assert run.output.sampled_edges == g.num_edges()
+
+    def test_unbiased_over_coins(self):
+        """Averaged over many public-coin seeds, the estimator is close
+        to the truth (unbiasedness + concentration on K12)."""
+        g = complete_graph(12)
+        truth = count_triangles(g)
+        estimates = [
+            run_protocol(g, TriangleCountSketch(0.6), PublicCoins(seed)).output.estimate
+            for seed in range(30)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.25)
+
+    def test_triangle_free_reports_zero(self):
+        g = cycle_graph(12)
+        run = run_protocol(g, TriangleCountSketch(0.8), PublicCoins(1))
+        assert run.output.estimate == 0.0
+
+    def test_sampling_reduces_cost(self):
+        g = complete_graph(20)
+        low = run_protocol(g, TriangleCountSketch(0.2), PublicCoins(2)).max_bits
+        full = run_protocol(g, TriangleCountSketch(1.0), PublicCoins(2)).max_bits
+        assert low < full
+
+    def test_freeness_detection_is_unreliable_at_low_p(self):
+        """The [17] theme: with small p a single planted triangle is
+        usually invisible — freeness testing genuinely needs more."""
+        g = cycle_graph(20)
+        g.add_edge(0, 2)  # exactly one triangle (0, 1, 2)
+        assert count_triangles(g) == 1
+        missed = sum(
+            run_protocol(g, TriangleCountSketch(0.3), PublicCoins(seed)).output.estimate
+            == 0.0
+            for seed in range(12)
+        )
+        assert missed >= 8  # p^3 = 2.7%: almost always missed
