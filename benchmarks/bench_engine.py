@@ -1,0 +1,45 @@
+"""Engine smoke bench: backend overhead and construction-cache reuse.
+
+Not a paper figure — times the execution-engine layer itself.  One
+bench runs the same attack batch under the serial backend, one under a
+two-worker process pool (asserting bit-identical results, the engine's
+determinism contract), and one times a construction warm-up against a
+warm cache.
+"""
+
+from repro.lowerbound import attack_with_matching_protocol, scaled_distribution
+from repro.protocols import SampledEdgesMatching
+
+_TRIALS = 12
+
+
+def _attack(engine):
+    hard = scaled_distribution(m=10, k=3)
+    return attack_with_matching_protocol(
+        hard, SampledEdgesMatching(2), trials=_TRIALS, seed=0, engine=engine
+    )
+
+
+def test_bench_engine_serial(benchmark, serial_engine):
+    result = benchmark(_attack, serial_engine)
+    assert result.trials == _TRIALS
+
+
+def test_bench_engine_parallel(benchmark, serial_engine, parallel_engine):
+    result = benchmark(_attack, parallel_engine)
+    # Determinism contract: the pool reproduces the serial run exactly.
+    reference = _attack(serial_engine)
+    assert result == reference
+
+
+def test_bench_engine_cache_hit(benchmark, serial_engine):
+    cache = serial_engine.cache
+
+    def build():
+        return cache.get_or_build(("bench-construction", 10, 3),
+                                  lambda: scaled_distribution(m=10, k=3))
+
+    build()  # warm
+    hard = benchmark(build)
+    assert hard.n > 0
+    assert cache.stats.hits >= 1

@@ -9,6 +9,8 @@ report generator.
 
 import pytest
 
+from repro.engine import ConstructionCache, ExecutionEngine
+
 
 @pytest.fixture
 def show_report(capsys):
@@ -21,3 +23,24 @@ def show_report(capsys):
             print()
 
     return _show
+
+
+@pytest.fixture
+def serial_engine():
+    """A serial engine with a fresh (memory-only) cache."""
+    engine = ExecutionEngine(workers=None, cache=ConstructionCache())
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def parallel_engine():
+    """A two-worker process-pool engine with a fresh cache.
+
+    Paired with ``serial_engine`` this lets a bench time the same
+    workload under both backends; the engine's determinism contract
+    guarantees identical outputs either way.
+    """
+    engine = ExecutionEngine(workers=2, cache=ConstructionCache())
+    yield engine
+    engine.close()

@@ -2,27 +2,55 @@
 
 This is the reproduction driver behind EXPERIMENTS.md:
 
-    python scripts/run_experiments.py            # all experiments
-    python scripts/run_experiments.py T1b C31    # a subset
+    python scripts/run_experiments.py                    # all experiments
+    python scripts/run_experiments.py T1b C31            # a subset
+    python scripts/run_experiments.py --workers 4        # parallel trials
+    python scripts/run_experiments.py --cache-dir .repro_cache
 """
 
+import argparse
 import sys
 import time
 
+from repro.cli import _engine_summary, _parse_workers, _run_with_engine
+from repro.engine import ExecutionEngine, configure_cache, set_default_engine
 from repro.experiments import all_experiments, get_experiment
 
 
 def main(argv: list[str]) -> None:
-    if argv:
-        experiments = [get_experiment(exp_id) for exp_id in argv]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="worker processes: an integer or 'auto'",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persist the construction cache under PATH"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the construction cache"
+    )
+    args = parser.parse_args(argv)
+
+    cache = configure_cache(directory=args.cache_dir, enabled=not args.no_cache)
+    engine = set_default_engine(ExecutionEngine(workers=args.workers, cache=cache))
+
+    if args.experiments:
+        experiments = [get_experiment(exp_id) for exp_id in args.experiments]
     else:
         experiments = all_experiments()
     for experiment in experiments:
+        before = engine.cache.stats.snapshot()
         start = time.time()
-        report = experiment.run()
+        report = _run_with_engine(experiment, {}, engine)
         elapsed = time.time() - start
         print(report.render())
-        print(f"(ran in {elapsed:.2f}s; paper ref: {experiment.paper_reference})")
+        print(
+            f"{_engine_summary(engine, elapsed, before)} "
+            f"(paper ref: {experiment.paper_reference})"
+        )
         print()
 
 

@@ -145,17 +145,32 @@ def exhaustive_ap_free_set(m: int) -> list[int]:
     return best
 
 
-def best_ap_free_set(m: int, exhaustive_limit: int = 24) -> list[int]:
-    """The largest verified 3-AP-free subset of {0, ..., m-1} among our
-    constructions (exhaustive for tiny m, else max of Behrend and greedy)."""
+def _best_ap_free_set_uncached(m: int, exhaustive_limit: int) -> tuple[int, ...]:
     if m <= exhaustive_limit:
-        return exhaustive_ap_free_set(m)
+        return tuple(exhaustive_ap_free_set(m))
     behrend = behrend_set(m)
     greedy = greedy_ap_free_set(m)
     winner = behrend if len(behrend) >= len(greedy) else greedy
     if not is_three_ap_free(winner):  # pragma: no cover - construction invariant
         raise AssertionError("constructed set contains a 3-AP; construction bug")
-    return winner
+    return tuple(winner)
+
+
+def best_ap_free_set(m: int, exhaustive_limit: int = 24) -> list[int]:
+    """The largest verified 3-AP-free subset of {0, ..., m-1} among our
+    constructions (exhaustive for tiny m, else max of Behrend and greedy).
+
+    The search is pure in ``(m, exhaustive_limit)`` and expensive (the
+    exhaustive branch is exponential), so results go through the
+    engine's construction cache; a fresh list is returned per call.
+    """
+    from ..engine import construction_cache
+
+    cached = construction_cache().get_or_build(
+        ("ap-free-set", m, exhaustive_limit),
+        lambda: _best_ap_free_set_uncached(m, exhaustive_limit),
+    )
+    return list(cached)
 
 
 def behrend_density_bound(m: int) -> float:

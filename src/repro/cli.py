@@ -8,15 +8,28 @@
 
 Keyword overrides are parsed as ints when possible, floats next, and
 strings otherwise — enough to steer every registered experiment.
+
+``run``, ``run-all``, and ``attack`` take the shared engine flags:
+``--workers N`` (or ``auto``) parallelizes trial batches over a process
+pool, ``--cache-dir PATH`` persists the construction cache on disk, and
+``--no-cache`` disables caching.  Each experiment prints a summary line
+with its wall clock, backend policy, and cache traffic.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from . import __version__
+from .engine import (
+    ExecutionEngine,
+    configure_cache,
+    set_default_engine,
+    workers_from_env,
+)
 from .experiments import all_experiments, get_experiment
 
 
@@ -39,6 +52,72 @@ def _parse_kwargs(pairs: list[str]) -> dict:
     return out
 
 
+def _parse_workers(raw: str):
+    """Validate ``--workers``: a positive integer or the string 'auto'."""
+    if raw == "auto":
+        return raw
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be positive")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution-engine flags to a subcommand."""
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="worker processes: an integer, or 'auto' to size by workload",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist the construction cache on disk under PATH",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the construction cache entirely",
+    )
+
+
+def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    """Build the engine the flags describe and install it as the default."""
+    cache = configure_cache(
+        directory=getattr(args, "cache_dir", None),
+        enabled=not getattr(args, "no_cache", False),
+    )
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = workers_from_env()
+    return set_default_engine(ExecutionEngine(workers=workers, cache=cache))
+
+
+def _engine_summary(
+    engine: ExecutionEngine, elapsed: float, before: tuple
+) -> str:
+    """One status line: wall clock, backend policy, cache traffic delta."""
+    after = engine.cache.stats.snapshot()
+    hits, misses = after[0] - before[0], after[1] - before[1]
+    cache = "off" if not engine.cache.enabled else f"{hits} hits / {misses} misses"
+    return f"(ran in {elapsed:.2f}s; backend {engine.describe()}; cache {cache})"
+
+
+def _run_with_engine(experiment, overrides: dict, engine: ExecutionEngine):
+    """Call an experiment runner, passing ``engine=`` when it accepts one."""
+    kwargs = dict(overrides)
+    if "engine" in inspect.signature(experiment.runner).parameters:
+        kwargs.setdefault("engine", engine)
+    return experiment.run(**kwargs)
+
+
 def cmd_list() -> int:
     """Print every registered experiment."""
     for exp in all_experiments():
@@ -46,15 +125,23 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(experiment_id: str, overrides: dict, as_json: bool = False) -> int:
+def cmd_run(
+    experiment_id: str,
+    overrides: dict,
+    as_json: bool = False,
+    engine: ExecutionEngine | None = None,
+) -> int:
     """Run one experiment with keyword overrides and print its report.
 
     With ``as_json`` the structured data dict is printed instead of the
     rendered tables — for downstream plotting pipelines.
     """
     experiment = get_experiment(experiment_id)
+    engine = engine or ExecutionEngine()
+    before = engine.cache.stats.snapshot()
     start = time.time()
-    report = experiment.run(**overrides)
+    report = _run_with_engine(experiment, overrides, engine)
+    elapsed = time.time() - start
     if as_json:
         import json
 
@@ -65,19 +152,33 @@ def cmd_run(experiment_id: str, overrides: dict, as_json: bool = False) -> int:
         ))
         return 0
     print(report.render())
-    print(f"\n(ran in {time.time() - start:.2f}s)")
+    print()
+    print(_engine_summary(engine, elapsed, before))
     return 0
 
 
-def cmd_run_all() -> int:
-    """Run every experiment in id order."""
+def cmd_run_all(engine: ExecutionEngine | None = None) -> int:
+    """Run every experiment in id order with a per-experiment summary."""
+    engine = engine or ExecutionEngine()
     for exp in all_experiments():
-        print(exp.run().render())
+        before = engine.cache.stats.snapshot()
+        start = time.time()
+        report = _run_with_engine(exp, {}, engine)
+        elapsed = time.time() - start
+        print(report.render())
+        print(f"[{exp.experiment_id}] {_engine_summary(engine, elapsed, before)}")
         print()
     return 0
 
 
-def cmd_attack(spec: str, m: int, k: int, trials: int, seed: int) -> int:
+def cmd_attack(
+    spec: str,
+    m: int,
+    k: int,
+    trials: int,
+    seed: int,
+    engine: ExecutionEngine | None = None,
+) -> int:
     """Run one named protocol against D_MM and print the attack summary."""
     from .lowerbound import (
         attack_with_matching_protocol,
@@ -87,10 +188,14 @@ def cmd_attack(spec: str, m: int, k: int, trials: int, seed: int) -> int:
     )
     from .protocols import is_mis_spec, make_protocol
 
+    engine = engine or ExecutionEngine()
+    before = engine.cache.stats.snapshot()
+    start = time.time()
     hard = scaled_distribution(m=m, k=k)
     protocol = make_protocol(spec)
     attack = attack_with_mis_protocol if is_mis_spec(spec) else attack_with_matching_protocol
-    result = attack(hard, protocol, trials=trials, seed=seed)
+    result = attack(hard, protocol, trials=trials, seed=seed, engine=engine)
+    elapsed = time.time() - start
     chain = proof_chain_bound(hard)
     print(f"distribution : m={m}, k={k} -> N={hard.N}, r={hard.r}, t={hard.t}, n={hard.n}")
     print(f"protocol     : {protocol.name}")
@@ -100,6 +205,7 @@ def cmd_attack(spec: str, m: int, k: int, trials: int, seed: int) -> int:
     print(f"strict       : {result.strict_success_rate:.2f}")
     print(f"relaxed      : {result.relaxed_success_rate:.2f}")
     print(f"mean UU edges: {result.mean_unique_unique:.2f} (kr/4 = {hard.claim31_threshold})")
+    print(_engine_summary(engine, elapsed, before))
     return 0
 
 
@@ -128,24 +234,33 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--json", action="store_true", help="print structured data as JSON"
     )
-    sub.add_parser("run-all", help="run every experiment")
+    _add_engine_flags(run_parser)
+    run_all_parser = sub.add_parser("run-all", help="run every experiment")
+    _add_engine_flags(run_all_parser)
     attack_parser = sub.add_parser("attack", help="attack D_MM with a named protocol")
     attack_parser.add_argument("spec", help="protocol spec, e.g. sampled:2 or mis-full")
     attack_parser.add_argument("--m", type=int, default=12)
     attack_parser.add_argument("--k", type=int, default=4)
     attack_parser.add_argument("--trials", type=int, default=20)
     attack_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(attack_parser)
     sub.add_parser("info", help="package summary")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.experiment_id, _parse_kwargs(args.kw), args.json)
+        return cmd_run(
+            args.experiment_id, _parse_kwargs(args.kw), args.json,
+            engine=_build_engine(args),
+        )
     if args.command == "run-all":
-        return cmd_run_all()
+        return cmd_run_all(engine=_build_engine(args))
     if args.command == "attack":
-        return cmd_attack(args.spec, args.m, args.k, args.trials, args.seed)
+        return cmd_attack(
+            args.spec, args.m, args.k, args.trials, args.seed,
+            engine=_build_engine(args),
+        )
     if args.command == "info":
         return cmd_info()
     parser.print_help()

@@ -1,0 +1,58 @@
+"""Execution engine: batched, parallel, cache-aware protocol runs.
+
+Infrastructure layer with no dependency on the rest of the package —
+``model``, ``lowerbound``, and ``experiments`` all sit on top of it.
+See ``docs/engine.md`` for the backend, determinism, and cache-key
+contracts.
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_worker_count,
+    in_worker_process,
+)
+from .cache import (
+    CacheStats,
+    ConstructionCache,
+    cache_key,
+    configure_cache,
+    construction_cache,
+)
+from .core import (
+    AUTO_PARALLEL_THRESHOLD,
+    ExecutionEngine,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+    workers_from_env,
+)
+from .plan import BatchResult, TrialPlan, TrialResult, execute_task
+from .seeds import derive_seed, trial_seed, trial_seeds
+
+__all__ = [
+    "AUTO_PARALLEL_THRESHOLD",
+    "BatchResult",
+    "CacheStats",
+    "ConstructionCache",
+    "ExecutionBackend",
+    "ExecutionEngine",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TrialPlan",
+    "TrialResult",
+    "cache_key",
+    "configure_cache",
+    "construction_cache",
+    "default_engine",
+    "default_worker_count",
+    "derive_seed",
+    "execute_task",
+    "in_worker_process",
+    "resolve_engine",
+    "set_default_engine",
+    "trial_seed",
+    "trial_seeds",
+    "workers_from_env",
+]

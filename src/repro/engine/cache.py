@@ -1,0 +1,205 @@
+"""Content-addressed construction cache for hard-instance ingredients.
+
+Behrend sets, RS-graph constructions, and D_MM instance families are
+pure functions of their parameters, yet every experiment used to rebuild
+them from scratch — the budget sweep alone reconstructs the same
+``scaled_distribution(m=12, k=4)`` once per knob.  The cache keys each
+construction by a SHA-256 of its parameter tuple, so a warm cache can
+only ever change *timings*, never outputs.
+
+Two tiers:
+
+* an in-memory LRU (bounded by entry count — constructions at laptop
+  scale are small), always on unless the cache is disabled;
+* an optional on-disk pickle tier under a directory such as
+  ``.repro_cache/``, for reuse across processes and runs.
+
+The default cache is process-global and configurable from the CLI
+(``--cache-dir``, ``--no-cache``) or environment (``REPRO_CACHE_DIR``,
+``REPRO_NO_CACHE``).  Cached objects are shared, not copied: the
+pipeline's convention that constructions are frozen once built
+(see ``graphs.graph``) is what makes this safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+#: Bump to invalidate every existing key (schema/representation changes).
+CACHE_SCHEMA_VERSION = 1
+
+
+def cache_key(parts: tuple) -> str:
+    """The content address of a parameter tuple: a stable SHA-256 hex.
+
+    Parts are rendered with ``repr``; use only values whose ``repr`` is
+    content-complete (ints, strings, floats, tuples thereof) or objects
+    exposing an explicit fingerprint (e.g. ``HardDistribution.cache_token``).
+    """
+    material = repr((CACHE_SCHEMA_VERSION, parts))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Mutable hit/miss counters; snapshot with :meth:`snapshot`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    bypasses: int = 0
+
+    def snapshot(self) -> tuple[int, int, int, int, int]:
+        return (self.hits, self.misses, self.disk_hits, self.stores, self.bypasses)
+
+    def summary(self) -> str:
+        parts = [f"{self.hits} hits", f"{self.misses} misses"]
+        if self.disk_hits:
+            parts.append(f"{self.disk_hits} disk")
+        if self.bypasses:
+            parts.append(f"{self.bypasses} bypassed")
+        return " / ".join(parts)
+
+
+class ConstructionCache:
+    """In-memory LRU plus optional on-disk pickle tier.
+
+    ``get_or_build(parts, builder)`` is the one entry point: it returns
+    the cached object for ``parts`` or runs ``builder()`` and stores the
+    result.  A disabled cache degrades to calling the builder (counted
+    as a bypass), so call sites never branch.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        directory: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def get_or_build(self, parts: tuple, builder: Callable[[], T]) -> T:
+        """The object addressed by ``parts``, building it on first use."""
+        if not self.enabled:
+            self.stats.bypasses += 1
+            return builder()
+        key = cache_key(parts)
+        if key in self._memory:
+            self.stats.hits += 1
+            self._memory.move_to_end(key)
+            return self._memory[key]
+        value = self._load_from_disk(key)
+        if value is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._remember(key, value)
+            return value
+        self.stats.misses += 1
+        value = builder()
+        self._remember(key, value)
+        self._store_to_disk(key, value)
+        self.stats.stores += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk files are left in place)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.pkl"
+
+    def _load_from_disk(self, key: str) -> Any | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # A corrupt or incompatible file is a miss, not an error.
+            return None
+
+    def _store_to_disk(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            # Disk tier is best-effort; memory tier already holds the value.
+            pass
+
+
+# ----------------------------------------------------------------------
+# Process-global default
+# ----------------------------------------------------------------------
+_default_cache: ConstructionCache | None = None
+
+
+def _cache_from_env() -> ConstructionCache:
+    disabled = os.environ.get("REPRO_NO_CACHE", "").strip().lower() in ("1", "true", "yes")
+    directory = os.environ.get("REPRO_CACHE_DIR") or None
+    return ConstructionCache(directory=directory, enabled=not disabled)
+
+
+def construction_cache() -> ConstructionCache:
+    """The process-global default cache (built from the environment once)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = _cache_from_env()
+    return _default_cache
+
+
+def configure_cache(
+    directory: str | os.PathLike | None = None,
+    enabled: bool = True,
+    max_entries: int = 256,
+) -> ConstructionCache:
+    """Replace the global default cache (CLI flags route through here)."""
+    global _default_cache
+    _default_cache = ConstructionCache(
+        max_entries=max_entries, directory=directory, enabled=enabled
+    )
+    return _default_cache

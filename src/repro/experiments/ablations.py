@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine import derive_seed
 from ..graphs import erdos_renyi, is_maximal_matching, is_spanning_forest
 from ..model import PublicCoins, run_adaptive_protocol, run_protocol
 from ..protocols import FilteringMatching
@@ -64,7 +65,7 @@ def _coloring_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
             g = erdos_renyi(n, 0.35, rng)
             delta = g.max_degree()
             protocol = PaletteSparsificationColoring(delta, list_size=list_size)
-            run = run_protocol(g, protocol, PublicCoins(seed * 3 + trial))
+            run = run_protocol(g, protocol, PublicCoins(derive_seed(seed, "abl-coloring", trial)))
             bits = max(bits, run.max_bits)
             ok += run.output.complete and is_proper_coloring(
                 g, run.output.colors, delta + 1
@@ -89,7 +90,7 @@ def _filtering_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
             run = run_adaptive_protocol(
                 g,
                 FilteringMatching(num_rounds=2, cap_multiplier=cap),
-                PublicCoins(seed * 7 + trial),
+                PublicCoins(derive_seed(seed, "abl-filtering", trial)),
             )
             bits = max(bits, max(run.max_bits_per_round))
             ok += is_maximal_matching(g, run.output)

@@ -13,6 +13,7 @@ probability constant.
 
 from __future__ import annotations
 
+from ..engine import ExecutionEngine
 from ..lowerbound import scaled_distribution
 from ..lowerbound.average_case import max_to_average_gap, symmetrized_cost_profile
 from ..lowerbound.concentration import (
@@ -28,7 +29,11 @@ from .tables import render_table
 @register("AVG", "Average-case symmetrization + Chernoff constants",
           "Remark after Theorem 1; Claim 3.1 proof")
 def run_average_case(
-    m: int = 10, k: int = 3, trials: tuple[int, ...] = (4, 32), seed: int = 0
+    m: int = 10,
+    k: int = 3,
+    trials: tuple[int, ...] = (4, 32),
+    seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Measure the symmetrized cost profile and the exact Chernoff table."""
     hard = scaled_distribution(m=m, k=k)
@@ -40,7 +45,9 @@ def run_average_case(
     ]
     for protocol in protocols:
         for t in trials:
-            profile = symmetrized_cost_profile(hard, protocol, trials=t, seed=seed)
+            profile = symmetrized_cost_profile(
+                hard, protocol, trials=t, seed=seed, engine=engine
+            )
             rows.append(
                 (
                     protocol.name,

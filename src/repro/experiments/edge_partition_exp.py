@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine import derive_seed
 from ..graphs import is_valid_matching
 from ..lowerbound import sample_dmm, scaled_distribution
 from ..lowerbound.claims import count_unique_unique
@@ -47,7 +48,7 @@ def run_edge_partition(
         v_uu = e_uu = 0.0
         v_sizes = e_sizes = 0.0
         for trial, inst in enumerate(instances):
-            coins = PublicCoins(seed * 13 + trial)
+            coins = PublicCoins(derive_seed(seed, "ep-coins", trial))
             vrun = run_protocol(inst.graph, vertex_protocol, coins, n=hard.n)
             if is_valid_matching(inst.graph, vrun.output):
                 v_uu += count_unique_unique(inst, vrun.output)
@@ -57,7 +58,7 @@ def run_edge_partition(
                 edge_protocol,
                 num_players=hard.n,  # same player count as vertices
                 coins=coins,
-                rng=random.Random(seed * 17 + trial),
+                rng=random.Random(derive_seed(seed, "ep-partition", trial)),
                 n=hard.n,
             )
             if is_valid_matching(inst.graph, erun.output):
@@ -91,7 +92,7 @@ def run_edge_partition(
     ld_protocol = LowDegreeOnlyMatching(threshold)
     for trial, inst in enumerate(instances):
         run = run_protocol(
-            inst.graph, ld_protocol, PublicCoins(seed * 13 + trial), n=hard.n
+            inst.graph, ld_protocol, PublicCoins(derive_seed(seed, "ep-coins", trial)), n=hard.n
         )
         if is_valid_matching(inst.graph, run.output):
             ld_uu += count_unique_unique(inst, run.output)

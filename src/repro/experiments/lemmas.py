@@ -7,6 +7,7 @@ tabulates both sides of the lemma's inequality per protocol.
 
 from __future__ import annotations
 
+from ..engine import ExecutionEngine, resolve_engine
 from ..lowerbound import analyze_protocol, micro_distribution
 from ..model import PublicCoins
 from ..protocols import FullNeighborhoodMatching, SampledEdgesMatching
@@ -25,17 +26,32 @@ def _protocol_suite():
     ]
 
 
-def _analyses(r: int, t: int, k: int):
+def _analyze_one(item: tuple):
+    """Exact-enumeration analysis of one protocol (module-level for pools)."""
+    hard, protocol = item
+    return analyze_protocol(hard, protocol, _COINS)
+
+
+def _analyses(r: int, t: int, k: int, engine: ExecutionEngine | None = None):
+    """Per-protocol exact analyses, fanned out over the engine.
+
+    Each protocol's joint-distribution enumeration is independent and
+    expensive (2^(k·t·r) indicator tables), so protocols — not trials —
+    are the engine's work units here.
+    """
+    engine = resolve_engine(engine)
     hard = micro_distribution(r=r, t=t, k=k)
-    return hard, [
-        (p, analyze_protocol(hard, p, _COINS)) for p in _protocol_suite()
-    ]
+    suite = _protocol_suite()
+    analyses = engine.map(_analyze_one, [(hard, p) for p in suite])
+    return hard, list(zip(suite, analyses))
 
 
 @register("L33", "Information lower bound (Lemma 3.3)", "Lemma 3.3")
-def run_lemma33(r: int = 1, t: int = 2, k: int = 2) -> ExperimentReport:
+def run_lemma33(
+    r: int = 1, t: int = 2, k: int = 2, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
     """I(M;Π|Σ,J) vs the proof's implied bound E|M^U| - Pr[err]·kr - 1."""
-    hard, analyses = _analyses(r, t, k)
+    hard, analyses = _analyses(r, t, k, engine)
     rows = []
     data_rows = []
     for protocol, a in analyses:
@@ -91,9 +107,11 @@ def run_lemma33(r: int = 1, t: int = 2, k: int = 2) -> ExperimentReport:
 
 
 @register("L34", "Public/unique decomposition (Lemma 3.4)", "Lemma 3.4")
-def run_lemma34(r: int = 1, t: int = 2, k: int = 2) -> ExperimentReport:
+def run_lemma34(
+    r: int = 1, t: int = 2, k: int = 2, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
     """I(M;Π|Σ,J) <= H(Π(P)) + Σ_i I(M_{i,J};Π(U_i)|Σ,J), exactly."""
-    hard, analyses = _analyses(r, t, k)
+    hard, analyses = _analyses(r, t, k, engine)
     rows = []
     data_rows = []
     for protocol, a in analyses:
@@ -131,11 +149,13 @@ def run_lemma34(r: int = 1, t: int = 2, k: int = 2) -> ExperimentReport:
 
 
 @register("L35", "Direct-sum for unique players (Lemma 3.5)", "Lemma 3.5")
-def run_lemma35(r: int = 1, t: int = 3, k: int = 2) -> ExperimentReport:
+def run_lemma35(
+    r: int = 1, t: int = 3, k: int = 2, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
     """Per copy i: I(M_{i,J};Π(U_i)|Σ,J) <= H(Π(U_i))/t — the 1/t factor
     is the direct-sum engine of the whole lower bound, so the table
     reports it per copy."""
-    hard, analyses = _analyses(r, t, k)
+    hard, analyses = _analyses(r, t, k, engine)
     rows = []
     data_rows = []
     for protocol, a in analyses:

@@ -8,12 +8,18 @@ the per-seed values with their spread:
 * T1b's threshold shape — zero-budget failure and full-budget success;
 * C31's regime split — in-regime holds-rate minus below-regime rate;
 * T2's reduction — exact recovery by the correct MIS protocol.
+
+Each seed's cell is an independent work unit, so the engine fans the
+seeds out across its backend; within a cell every sub-experiment
+derives its own hash-based seed stream, so the row for seed ``s`` is a
+pure function of ``s`` regardless of scheduling.
 """
 
 from __future__ import annotations
 
 import random
 
+from ..engine import ExecutionEngine, derive_seed, resolve_engine
 from ..lowerbound import (
     attack_with_matching_protocol,
     micro_distribution,
@@ -28,61 +34,86 @@ from .registry import ExperimentReport, register
 from .tables import render_table
 
 
+def _stability_cell(item: tuple) -> dict:
+    """Re-derive every headline conclusion at one seed (module-level so
+    process pools can run whole cells in parallel; inner loops stay
+    serial inside the worker)."""
+    seed, trials = item
+    hard = scaled_distribution(m=12, k=4)
+    zero = attack_with_matching_protocol(
+        hard, SampledEdgesMatching(0), trials=trials, seed=seed
+    ).strict_success_rate
+    full = attack_with_matching_protocol(
+        hard, SampledEdgesMatching(hard.n), trials=trials, seed=seed
+    ).strict_success_rate
+
+    # C31 regime split at this seed.
+    below = scaled_distribution(m=10, k=3)
+    in_regime = micro_distribution(r=2, t=2, k=30)
+    below_rate = sum(
+        min_unique_unique_edges(
+            sample_dmm(below, random.Random(derive_seed(seed, "stab-below", t))),
+            heuristic_trials=3,
+        )
+        >= below.claim31_threshold
+        for t in range(trials)
+    ) / trials
+    in_rate = sum(
+        min_unique_unique_edges(
+            sample_dmm(in_regime, random.Random(derive_seed(seed, "stab-in", t))),
+            heuristic_trials=3,
+        )
+        >= in_regime.claim31_threshold
+        for t in range(trials)
+    ) / trials
+
+    # T2 exact recovery at this seed.
+    reduction_hard = scaled_distribution(m=8, k=2)
+    reduction_trials = max(3, trials // 2)
+    recoveries = sum(
+        run_reduction(
+            sample_dmm(
+                reduction_hard,
+                random.Random(derive_seed(seed, "stab-reduction", t)),
+            ),
+            FullNeighborhoodMIS(),
+            PublicCoins(derive_seed(seed, "stab-reduction-coins", t)),
+        ).output_is_exactly_survivors
+        for t in range(reduction_trials)
+    ) / reduction_trials
+
+    return {
+        "seed": seed,
+        "t1b_zero_budget": zero,
+        "t1b_full_budget": full,
+        "c31_below_rate": below_rate,
+        "c31_in_rate": in_rate,
+        "t2_recovery": recoveries,
+    }
+
+
 @register("STAB", "Seed stability of the headline conclusions", "methodology")
 def run_stability(
-    seeds: list[int] | None = None, trials: int = 10
+    seeds: list[int] | None = None,
+    trials: int = 10,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Re-derive the headline conclusions under independent seeds."""
     if seeds is None:
         seeds = [1, 2, 3, 4, 5]
-    rows = []
-    data_rows = []
-    for seed in seeds:
-        hard = scaled_distribution(m=12, k=4)
-        zero = attack_with_matching_protocol(
-            hard, SampledEdgesMatching(0), trials=trials, seed=seed
-        ).strict_success_rate
-        full = attack_with_matching_protocol(
-            hard, SampledEdgesMatching(hard.n), trials=trials, seed=seed
-        ).strict_success_rate
-
-        # C31 regime split at this seed.
-        rng = random.Random(seed)
-        below = scaled_distribution(m=10, k=3)
-        in_regime = micro_distribution(r=2, t=2, k=30)
-        below_rate = sum(
-            min_unique_unique_edges(sample_dmm(below, rng), heuristic_trials=3)
-            >= below.claim31_threshold
-            for _ in range(trials)
-        ) / trials
-        in_rate = sum(
-            min_unique_unique_edges(sample_dmm(in_regime, rng), heuristic_trials=3)
-            >= in_regime.claim31_threshold
-            for _ in range(trials)
-        ) / trials
-
-        # T2 exact recovery at this seed.
-        reduction_hard = scaled_distribution(m=8, k=2)
-        recoveries = sum(
-            run_reduction(
-                sample_dmm(reduction_hard, rng),
-                FullNeighborhoodMIS(),
-                PublicCoins(seed * 71 + t),
-            ).output_is_exactly_survivors
-            for t in range(max(3, trials // 2))
-        ) / max(3, trials // 2)
-
-        rows.append((seed, zero, full, below_rate, in_rate, recoveries))
-        data_rows.append(
-            {
-                "seed": seed,
-                "t1b_zero_budget": zero,
-                "t1b_full_budget": full,
-                "c31_below_rate": below_rate,
-                "c31_in_rate": in_rate,
-                "t2_recovery": recoveries,
-            }
+    engine = resolve_engine(engine)
+    data_rows = engine.map(_stability_cell, [(seed, trials) for seed in seeds])
+    rows = [
+        (
+            row["seed"],
+            row["t1b_zero_budget"],
+            row["t1b_full_budget"],
+            row["c31_below_rate"],
+            row["c31_in_rate"],
+            row["t2_recovery"],
         )
+        for row in data_rows
+    ]
     table = render_table(
         [
             "seed",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine import derive_seed
 from ..graphs import erdos_renyi, is_maximal_matching, is_spanning_forest
 from ..model import PublicCoins, run_protocol
 from ..sketches import AGMParameters, AGMSpanningForest
@@ -46,7 +47,7 @@ def run_streams(
     stream_lengths = []
     for trial in range(trials):
         g = erdos_renyi(n, 0.35, rng)
-        coins = PublicCoins(seed * 101 + trial)
+        coins = PublicCoins(derive_seed(seed, "stream-coins", trial))
         params = AGMParameters.for_n(n)
         events = churn_stream(g, rng, churn_rounds=2)
         stream_lengths.append(len(events))

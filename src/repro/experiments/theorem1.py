@@ -12,6 +12,7 @@ Two complementary views:
 
 from __future__ import annotations
 
+from ..engine import ExecutionEngine
 from ..lowerbound import (
     bound_table,
     budget_sweep,
@@ -86,14 +87,20 @@ def run_theorem1_sweep(
     trials: int = 25,
     knobs: list[int] | None = None,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
-    """Sweep sampling budgets against D_MM and chart the success threshold."""
+    """Sweep sampling budgets against D_MM and chart the success threshold.
+
+    The sweep's inner Monte-Carlo loops route through the execution
+    engine: every knob shares the cached instance family, and trials fan
+    out over the engine's backend with backend-independent results.
+    """
     hard = scaled_distribution(m=m, k=k)
     if knobs is None:
         knobs = [0, 1, 2, 4, 8, 16, hard.n]
     chain = proof_chain_bound(hard)
     points = budget_sweep(
-        hard, SampledEdgesMatching, knobs, trials=trials, seed=seed
+        hard, SampledEdgesMatching, knobs, trials=trials, seed=seed, engine=engine
     )
     rows = []
     data_rows = []

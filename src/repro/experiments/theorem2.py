@@ -8,13 +8,23 @@ matching lower bound.
 
 from __future__ import annotations
 
-import random
-
-from ..lowerbound import run_reduction, sample_dmm, scaled_distribution
+from ..engine import ExecutionEngine, derive_seed, resolve_engine
+from ..lowerbound import run_reduction, sample_dmm_family, scaled_distribution
 from ..model import PublicCoins
 from ..protocols import FullNeighborhoodMIS, SampledEdgesMIS
 from .registry import ExperimentReport, register
 from .tables import render_kv, render_table
+
+
+def _reduction_trial(item: tuple) -> tuple[bool, bool, int]:
+    """Run one MIS protocol through the reduction (module-level for pools)."""
+    instance, coins_seed, protocol = item
+    run = run_reduction(instance, protocol, PublicCoins(coins_seed))
+    return (
+        run.output_is_exactly_survivors,
+        run.recovered_all_survivors,
+        run.per_player_bits,
+    )
 
 
 @register("T2", "MIS lower bound via reduction (Theorem 2)", "Section 4, Theorem 2")
@@ -24,26 +34,29 @@ def run_theorem2(
     trials: int = 15,
     budgets: list[int] | None = None,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Drive MIS protocols through the reduction and attack G directly."""
+    engine = resolve_engine(engine)
     hard = scaled_distribution(m=m, k=k)
     if budgets is None:
         budgets = [0, 1, 2, 4]
     protocols = [FullNeighborhoodMIS()] + [SampledEdgesMIS(b) for b in budgets]
     rows = []
     data_rows = []
-    rng = random.Random(seed)
-    instances = [sample_dmm(hard, rng) for _ in range(trials)]
+    instances = sample_dmm_family(hard, trials, seed)
     for protocol in protocols:
         name = protocol.name
-        exact = 0
-        superset = 0
-        bits = 0
-        for trial, inst in enumerate(instances):
-            run = run_reduction(inst, protocol, PublicCoins(seed * 31 + trial))
-            exact += run.output_is_exactly_survivors
-            superset += run.recovered_all_survivors
-            bits = max(bits, run.per_player_bits)
+        outcomes = engine.map(
+            _reduction_trial,
+            [
+                (inst, derive_seed(seed, "t2-reduction", trial), protocol)
+                for trial, inst in enumerate(instances)
+            ],
+        )
+        exact = sum(o[0] for o in outcomes)
+        superset = sum(o[1] for o in outcomes)
+        bits = max((o[2] for o in outcomes), default=0)
         rows.append(
             (
                 name,
@@ -76,6 +89,7 @@ def run_theorem2(
         trials=trials,
         seed=seed,
         mis=True,
+        engine=engine,
     )
     direct_rows = [
         (p.knob, p.result.max_bits, p.result.strict_success_rate)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine import derive_seed
 from ..graphs import (
     erdos_renyi,
     is_maximal_matching,
@@ -92,14 +93,14 @@ def run_coloring_contrast(
             g = erdos_renyi(n, 0.3, rng)
             delta = g.max_degree()
             protocol = PaletteSparsificationColoring(max_degree=delta)
-            run = run_protocol(g, protocol, PublicCoins(seed * 7 + trial))
+            run = run_protocol(g, protocol, PublicCoins(derive_seed(seed, "ub-forest", trial)))
             bits = max(bits, run.max_bits)
             ok += run.output.complete and is_proper_coloring(
                 g, run.output.colors, delta + 1
             )
             # The [18] contrast: the same task without public coins.
             prun = run_protocol(
-                g, PrivateCoinColoring(max_degree=delta), PublicCoins(seed * 7 + trial)
+                g, PrivateCoinColoring(max_degree=delta), PublicCoins(derive_seed(seed, "ub-coloring", trial))
             )
             private_bits = max(private_bits, prun.max_bits)
         rows.append((n, bits, ok / trials, private_bits, n))
@@ -148,7 +149,7 @@ def run_two_round_contrast(
     for trial in range(trials):
         g = erdos_renyi(n, 0.4, rng)
         run = run_adaptive_protocol(
-            g, SampleAndPruneMIS(cap_multiplier=1.5), PublicCoins(seed * 7 + trial)
+            g, SampleAndPruneMIS(cap_multiplier=1.5), PublicCoins(derive_seed(seed, "ub-mis", trial))
         )
         sap_bits = max(sap_bits, run.max_bits)
         sap_ok += is_maximal_independent_set(g, run.output)
@@ -162,7 +163,7 @@ def run_two_round_contrast(
         for trial in range(trials):
             g = erdos_renyi(n, 0.4, rng)
             run = run_adaptive_protocol(
-                g, LubyAdaptiveMIS(num_phases=phases), PublicCoins(seed * 3 + trial)
+                g, LubyAdaptiveMIS(num_phases=phases), PublicCoins(derive_seed(seed, "ub-luby", phases, trial))
             )
             ok += is_maximal_independent_set(g, run.output)
         rows.append((f"luby-MIS {phases} phase(s)", 2 * phases, ok / trials))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine import derive_seed
 from ..graphs import (
     charikar_peeling,
     complete_graph,
@@ -49,7 +50,7 @@ def run_upper_bounds_ext(trials: int = 4, seed: int = 0) -> ExperimentReport:
         bits = 0
         for trial in range(trials):
             run = run_protocol(
-                g, ConnectivityCertificate(k=3), PublicCoins(seed * 19 + trial)
+                g, ConnectivityCertificate(k=3), PublicCoins(derive_seed(seed, "ubx-connectivity", trial))
             )
             value = certificate_min_cut(run.output, set(g.vertices), 3)
             bits = max(bits, run.max_bits)
@@ -70,7 +71,7 @@ def run_upper_bounds_ext(trials: int = 4, seed: int = 0) -> ExperimentReport:
             for v in range(u + 1, 8):
                 g.add_edge(u, v)
         run = run_protocol(
-            g, DensestSubgraphSketch(0.8), PublicCoins(seed * 23 + trial)
+            g, DensestSubgraphSketch(0.8), PublicCoins(derive_seed(seed, "ubx-densest", trial))
         )
         bits = max(bits, run.max_bits)
         overlap = len(run.output.vertices & set(range(8)))
@@ -95,7 +96,7 @@ def run_upper_bounds_ext(trials: int = 4, seed: int = 0) -> ExperimentReport:
     bits = 0
     for seed_offset in range(max(trials * 6, 18)):
         run = run_protocol(
-            g, TriangleCountSketch(0.6), PublicCoins(seed * 29 + seed_offset)
+            g, TriangleCountSketch(0.6), PublicCoins(derive_seed(seed, "ubx-triangle", seed_offset))
         )
         bits = max(bits, run.max_bits)
         estimates.append(run.output.estimate)
@@ -116,7 +117,7 @@ def run_upper_bounds_ext(trials: int = 4, seed: int = 0) -> ExperimentReport:
     d_estimates = []
     for seed_offset in range(max(trials * 3, 9)):
         run = run_protocol(
-            g, DegeneracySketch(0.7), PublicCoins(seed * 31 + seed_offset)
+            g, DegeneracySketch(0.7), PublicCoins(derive_seed(seed, "ubx-degeneracy", seed_offset))
         )
         bits = max(bits, run.max_bits)
         d_estimates.append(run.output.estimate)

@@ -33,7 +33,7 @@ class Graph:
     frozen once built.  Equality compares vertex and edge sets.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_adjacency_view")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class Graph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: dict[int, set[int]] = {}
+        self._adjacency_view: dict[int, frozenset[int]] | None = None
         for v in vertices:
             self.add_vertex(v)
         for u, v in edges:
@@ -51,13 +52,16 @@ class Graph:
     # ------------------------------------------------------------------
     def add_vertex(self, v: int) -> None:
         """Add an isolated vertex (no-op if present)."""
-        self._adj.setdefault(v, set())
+        if v not in self._adj:
+            self._adj[v] = set()
+            self._adjacency_view = None
 
     def add_edge(self, u: int, v: int) -> None:
         """Add edge {u, v}, creating endpoints as needed (no-op if present)."""
         normalize_edge(u, v)
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self._adjacency_view = None
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove edge {u, v}; raises KeyError if absent."""
@@ -66,6 +70,7 @@ class Graph:
             self._adj[v].remove(u)
         except KeyError:
             raise KeyError(f"edge ({u}, {v}) not in graph") from None
+        self._adjacency_view = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -83,6 +88,20 @@ class Graph:
     def neighbors(self, v: int) -> frozenset[int]:
         """The neighborhood N(v).  Raises KeyError for unknown vertices."""
         return frozenset(self._adj[v])
+
+    def adjacency(self) -> dict[int, frozenset[int]]:
+        """A cached frozen view of the whole adjacency structure.
+
+        Built once per graph state and invalidated by any mutation, so
+        hot paths that iterate every player's neighborhood (``views_of``
+        on large instances) avoid re-freezing each set per call.  The
+        returned dict is shared — treat it as read-only.
+        """
+        if self._adjacency_view is None:
+            self._adjacency_view = {
+                v: frozenset(nbrs) for v, nbrs in self._adj.items()
+            }
+        return self._adjacency_view
 
     def degree(self, v: int) -> int:
         return len(self._adj[v])
@@ -159,6 +178,14 @@ class Graph:
     # ------------------------------------------------------------------
     # Dunder
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The adjacency view is a derived cache; keep pickles lean.
+        return {"_adj": self._adj}
+
+    def __setstate__(self, state: dict) -> None:
+        self._adj = state["_adj"]
+        self._adjacency_view = None
+
     def __contains__(self, v: int) -> bool:
         return v in self._adj
 

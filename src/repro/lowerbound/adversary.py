@@ -14,9 +14,9 @@ budget reaches the scale of the special matchings.  This harness
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
+from ..engine import ExecutionEngine, derive_seed, resolve_engine
 from ..graphs import (
     is_maximal_independent_set,
     is_maximal_matching,
@@ -24,7 +24,7 @@ from ..graphs import (
 )
 from ..model import PublicCoins, SketchProtocol, run_protocol
 from .claims import count_unique_unique
-from .distribution import DMMInstance, sample_dmm
+from .distribution import DMMInstance, sample_dmm_family
 from .params import HardDistribution
 
 
@@ -71,21 +71,10 @@ def attack_with_matching_protocol(
     protocol: SketchProtocol,
     trials: int,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> AttackResult:
     """Run a matching protocol against fresh D_MM samples."""
-    return _attack(
-        hard,
-        protocol,
-        trials,
-        seed,
-        strict=matching_strict_check,
-        relaxed=matching_relaxed_check,
-        unique_counter=lambda inst, out: (
-            count_unique_unique(inst, out)
-            if is_valid_matching(inst.graph, out)
-            else 0
-        ),
-    )
+    return _attack(hard, protocol, trials, seed, mis=False, engine=engine)
 
 
 def attack_with_mis_protocol(
@@ -93,39 +82,52 @@ def attack_with_mis_protocol(
     protocol: SketchProtocol,
     trials: int,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> AttackResult:
     """Run an MIS protocol against fresh D_MM samples (strict task only;
     the relaxed column then reports strict as well)."""
-    return _attack(
-        hard,
-        protocol,
-        trials,
-        seed,
-        strict=mis_strict_check,
-        relaxed=mis_strict_check,
-        unique_counter=lambda inst, out: 0,
+    return _attack(hard, protocol, trials, seed, mis=True, engine=engine)
+
+
+def _attack_trial(item: tuple) -> tuple[bool, bool, float, int, float]:
+    """Score one attack trial (module-level so process pools can run it)."""
+    instance, coins_seed, protocol, mis = item
+    run = run_protocol(
+        instance.graph, protocol, PublicCoins(seed=coins_seed), n=instance.hard.n
     )
+    if mis:
+        strict = relaxed = mis_strict_check(instance, run.output)
+        unique = 0.0
+    else:
+        strict = matching_strict_check(instance, run.output)
+        relaxed = matching_relaxed_check(instance, run.output)
+        unique = (
+            float(count_unique_unique(instance, run.output))
+            if is_valid_matching(instance.graph, run.output)
+            else 0.0
+        )
+    return strict, relaxed, unique, run.max_bits, run.transcript.average_bits
 
 
-def _attack(hard, protocol, trials, seed, strict, relaxed, unique_counter) -> AttackResult:
+def _attack(hard, protocol, trials, seed, mis, engine=None) -> AttackResult:
     if trials <= 0:
         raise ValueError("trials must be positive")
-    rng = random.Random(seed)
-    strict_ok = relaxed_ok = 0
-    unique_total = 0.0
-    max_bits = 0
-    bits_total = 0.0
-    for trial in range(trials):
-        instance = sample_dmm(hard, rng)
-        coins = PublicCoins(seed=seed * 7_654_321 + trial)
-        run = run_protocol(instance.graph, protocol, coins, n=hard.n)
-        if strict(instance, run.output):
-            strict_ok += 1
-        if relaxed(instance, run.output):
-            relaxed_ok += 1
-        unique_total += unique_counter(instance, run.output)
-        max_bits = max(max_bits, run.max_bits)
-        bits_total += run.transcript.average_bits
+    engine = resolve_engine(engine)
+    # The instance family is content-addressed: every attack over the
+    # same (hard, trials, seed) — e.g. each knob of a budget sweep —
+    # shares one sampled family.  Coin seeds are hash-derived per trial,
+    # independent of the protocol, so knob points stay comparable.
+    instances = sample_dmm_family(hard, trials, seed)
+    items = [
+        (instance, derive_seed(seed, "attack-coins", trial), protocol, mis)
+        for trial, instance in enumerate(instances)
+    ]
+    outcomes = engine.map(_attack_trial, items)
+    strict_ok = sum(o[0] for o in outcomes)
+    relaxed_ok = sum(o[1] for o in outcomes)
+    unique_total = sum(o[2] for o in outcomes)
+    max_bits = max((o[3] for o in outcomes), default=0)
+    bits_total = sum(o[4] for o in outcomes)
     return AttackResult(
         protocol_name=protocol.name,
         trials=trials,
@@ -152,13 +154,39 @@ def budget_sweep(
     trials: int,
     seed: int = 0,
     mis: bool = False,
+    engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
-    """Sweep a protocol-family knob (e.g. edges per vertex) against D_MM."""
+    """Sweep a protocol-family knob (e.g. edges per vertex) against D_MM.
+
+    Every knob point attacks the *same* cached instance family with the
+    same per-trial coins, so the sweep isolates the knob's effect.
+    """
     attack = attack_with_mis_protocol if mis else attack_with_matching_protocol
     return [
-        SweepPoint(knob=knob, result=attack(hard, make_protocol(knob), trials, seed))
+        SweepPoint(
+            knob=knob,
+            result=attack(hard, make_protocol(knob), trials, seed, engine=engine),
+        )
         for knob in knobs
     ]
+
+
+def _adaptive_attack_trial(item: tuple) -> tuple[bool, bool, float, int, float]:
+    """Score one adaptive-attack trial (module-level for process pools)."""
+    from ..model import run_adaptive_protocol
+
+    instance, coins_seed, protocol = item
+    run = run_adaptive_protocol(
+        instance.graph, protocol, PublicCoins(seed=coins_seed), n=instance.hard.n
+    )
+    strict = matching_strict_check(instance, run.output)
+    relaxed = matching_relaxed_check(instance, run.output)
+    unique = (
+        float(count_unique_unique(instance, run.output))
+        if is_valid_matching(instance.graph, run.output)
+        else 0.0
+    )
+    return strict, relaxed, unique, run.max_bits, float(run.max_bits)
 
 
 def attack_with_adaptive_matching(
@@ -166,6 +194,7 @@ def attack_with_adaptive_matching(
     protocol,
     trials: int,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> AttackResult:
     """Run an *adaptive* (multi-round) matching protocol against D_MM.
 
@@ -175,33 +204,21 @@ def attack_with_adaptive_matching(
     measures exactly that (cost = worst-case total bits per player
     across rounds).
     """
-    from ..model import run_adaptive_protocol
-
     if trials <= 0:
         raise ValueError("trials must be positive")
-    rng = random.Random(seed)
-    strict_ok = relaxed_ok = 0
-    unique_total = 0.0
-    max_bits = 0
-    bits_total = 0.0
-    for trial in range(trials):
-        instance = sample_dmm(hard, rng)
-        coins = PublicCoins(seed=seed * 7_654_321 + trial)
-        run = run_adaptive_protocol(instance.graph, protocol, coins, n=hard.n)
-        if matching_strict_check(instance, run.output):
-            strict_ok += 1
-        if matching_relaxed_check(instance, run.output):
-            relaxed_ok += 1
-        if is_valid_matching(instance.graph, run.output):
-            unique_total += count_unique_unique(instance, run.output)
-        max_bits = max(max_bits, run.max_bits)
-        bits_total += run.max_bits
+    engine = resolve_engine(engine)
+    instances = sample_dmm_family(hard, trials, seed)
+    items = [
+        (instance, derive_seed(seed, "attack-coins", trial), protocol)
+        for trial, instance in enumerate(instances)
+    ]
+    outcomes = engine.map(_adaptive_attack_trial, items)
     return AttackResult(
         protocol_name=protocol.name,
         trials=trials,
-        strict_successes=strict_ok,
-        relaxed_successes=relaxed_ok,
-        mean_unique_unique=unique_total / trials,
-        max_bits=max_bits,
-        mean_bits=bits_total / trials,
+        strict_successes=sum(o[0] for o in outcomes),
+        relaxed_successes=sum(o[1] for o in outcomes),
+        mean_unique_unique=sum(o[2] for o in outcomes) / trials,
+        max_bits=max((o[3] for o in outcomes), default=0),
+        mean_bits=sum(o[4] for o in outcomes) / trials,
     )

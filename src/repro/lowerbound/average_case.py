@@ -19,11 +19,11 @@ convergence rather than assert blind uniformity.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
+from ..engine import ExecutionEngine, derive_seed, resolve_engine
 from ..model import PublicCoins, SketchProtocol, run_protocol
-from .distribution import sample_dmm
+from .distribution import sample_dmm_family
 from .params import HardDistribution
 
 
@@ -55,29 +55,43 @@ class CostProfile:
         return (self.max - self.min) / self.mean
 
 
+def _profile_trial(item: tuple) -> dict[int, int]:
+    """Per-player message bits of one trial (module-level for pools)."""
+    instance, coins_seed, protocol = item
+    run = run_protocol(
+        instance.graph, protocol, PublicCoins(seed=coins_seed), n=instance.hard.n
+    )
+    return {v: m.num_bits for v, m in run.transcript.sketches.items()}
+
+
 def symmetrized_cost_profile(
     hard: HardDistribution,
     protocol: SketchProtocol,
     trials: int,
     seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> CostProfile:
     """Expected per-player message bits over fresh D_MM samples.
 
-    Each trial draws a fresh sigma (inside ``sample_dmm``), so any
-    positional asymmetry in the instance is averaged out; what remains
-    is the protocol's own per-player cost, which by symmetry converges
-    to a constant profile.
+    Each trial draws a fresh sigma (inside the cached instance family),
+    so any positional asymmetry in the instance is averaged out; what
+    remains is the protocol's own per-player cost, which by symmetry
+    converges to a constant profile.  Trials are independent (hash-
+    derived seeds) and run through the engine; totals are reduced in
+    trial order, so the profile is backend-independent.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    rng = random.Random(seed)
+    engine = resolve_engine(engine)
+    instances = sample_dmm_family(hard, trials, seed)
+    items = [
+        (instance, derive_seed(seed, "profile-coins", trial), protocol)
+        for trial, instance in enumerate(instances)
+    ]
     totals: dict[int, float] = {v: 0.0 for v in range(hard.n)}
-    for trial in range(trials):
-        instance = sample_dmm(hard, rng)
-        coins = PublicCoins(seed=seed * 40_503 + trial)
-        run = run_protocol(instance.graph, protocol, coins, n=hard.n)
-        for v, message in run.transcript.sketches.items():
-            totals[v] += message.num_bits
+    for per_player in engine.map(_profile_trial, items):
+        for v, bits in per_player.items():
+            totals[v] += bits
     return CostProfile(
         mean_bits_per_player={v: b / trials for v, b in totals.items()},
         trials=trials,

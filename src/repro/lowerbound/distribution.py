@@ -180,6 +180,36 @@ def sample_dmm(hard: HardDistribution, rng: random.Random) -> DMMInstance:
     )
 
 
+def sample_dmm_family(
+    hard: HardDistribution, trials: int, base_seed: int = 0
+) -> tuple[DMMInstance, ...]:
+    """``trials`` independent D_MM draws with hash-derived per-trial seeds.
+
+    Instance ``i`` is a pure function of ``(hard, base_seed, i)`` — not
+    of a shared sequential rng — so families can be built trial-parallel
+    and are content-addressed in the engine's construction cache: every
+    attack/sweep re-using the same ``(hard, trials, base_seed)`` gets the
+    identical family back without re-sampling.  Instances are shared and
+    frozen.
+    """
+    from ..engine import construction_cache, derive_seed
+
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+
+    def build() -> tuple[DMMInstance, ...]:
+        return tuple(
+            sample_dmm(
+                hard, random.Random(derive_seed(base_seed, "dmm-family", trial))
+            )
+            for trial in range(trials)
+        )
+
+    return construction_cache().get_or_build(
+        ("dmm-family", hard.cache_token, trials, base_seed), build
+    )
+
+
 def identity_sigma(hard: HardDistribution) -> tuple[int, ...]:
     """The identity relabeling — the canonical fixed sigma for exact
     enumeration experiments (which condition on Σ = σ anyway)."""

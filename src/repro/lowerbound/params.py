@@ -16,7 +16,9 @@ instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
+from ..engine import cache_key, construction_cache
 from ..rsgraphs import RSGraph, best_uniform, sum_class_rs_graph, uniformize
 
 
@@ -73,12 +75,38 @@ class HardDistribution:
         """Claim 3.1's failure bound: holds w.p. >= 1 - 2^(-k*r/10)."""
         return 1.0 - 2.0 ** (-self.k * self.r / 10.0)
 
+    @cached_property
+    def cache_token(self) -> str:
+        """A content address of this distribution, for cache keys.
+
+        Hashes the full RS structure (edge set and matching partition)
+        plus k — the default dataclass ``repr`` is not content-complete
+        (``Graph`` prints only its size), so cache keys must not use it.
+        """
+        return cache_key(
+            (
+                "hard-distribution",
+                self.k,
+                tuple(sorted(self.rs.graph.vertices)),
+                tuple(sorted(self.rs.graph.edges())),
+                self.rs.matchings,
+            )
+        )
+
 
 def scaled_distribution(m: int, k: int, min_t: int = 2) -> HardDistribution:
     """Laptop-scale D_MM: sum-class RS graph at left-part size m,
-    uniformized to maximize r*t, with an explicit copy count k."""
-    rs = best_uniform(sum_class_rs_graph(m), min_t=min_t)
-    return HardDistribution(rs=rs, k=k)
+    uniformized to maximize r*t, with an explicit copy count k.
+
+    Pure in ``(m, k, min_t)``, so the construction is content-addressed
+    in the engine cache; the returned distribution is shared and frozen.
+    """
+    return construction_cache().get_or_build(
+        ("scaled-distribution", m, k, min_t),
+        lambda: HardDistribution(
+            rs=best_uniform(sum_class_rs_graph(m), min_t=min_t), k=k
+        ),
+    )
 
 
 def paper_scale_distribution(m: int, r: int | None = None) -> HardDistribution:
@@ -87,9 +115,15 @@ def paper_scale_distribution(m: int, r: int | None = None) -> HardDistribution:
     ``r`` optionally forces the uniformization size (smaller r gives more
     matchings t, hence more copies k = t).
     """
-    base = sum_class_rs_graph(m)
-    rs = best_uniform(base) if r is None else uniformize(base, r)
-    return HardDistribution(rs=rs, k=rs.num_matchings)
+
+    def build() -> HardDistribution:
+        base = sum_class_rs_graph(m)
+        rs = best_uniform(base) if r is None else uniformize(base, r)
+        return HardDistribution(rs=rs, k=rs.num_matchings)
+
+    return construction_cache().get_or_build(
+        ("paper-scale-distribution", m, r), build
+    )
 
 
 def micro_distribution(r: int = 1, t: int = 2, k: int = 2) -> HardDistribution:
@@ -104,16 +138,20 @@ def micro_distribution(r: int = 1, t: int = 2, k: int = 2) -> HardDistribution:
     """
     if r < 1 or t < 1 or k < 1:
         raise ValueError("r, t, k must be positive")
-    from ..graphs import Graph
 
-    graph = Graph(vertices=range(2 * r * t))
-    matchings = []
-    for j in range(t):
-        edges = []
-        for e in range(r):
-            u = 2 * (j * r + e)
-            graph.add_edge(u, u + 1)
-            edges.append((u, u + 1))
-        matchings.append(tuple(edges))
-    rs = RSGraph(graph=graph, matchings=tuple(matchings))
-    return HardDistribution(rs=rs, k=k)
+    def build() -> HardDistribution:
+        from ..graphs import Graph
+
+        graph = Graph(vertices=range(2 * r * t))
+        matchings = []
+        for j in range(t):
+            edges = []
+            for e in range(r):
+                u = 2 * (j * r + e)
+                graph.add_edge(u, u + 1)
+                edges.append((u, u + 1))
+            matchings.append(tuple(edges))
+        rs = RSGraph(graph=graph, matchings=tuple(matchings))
+        return HardDistribution(rs=rs, k=k)
+
+    return construction_cache().get_or_build(("micro-distribution", r, t, k), build)

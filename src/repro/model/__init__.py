@@ -19,6 +19,7 @@ from .runner import (
     estimate_success_probability,
     run_adaptive_protocol,
     run_protocol,
+    run_protocol_batch,
 )
 from .views import VertexView, restricted_view, views_of
 
@@ -44,5 +45,6 @@ __all__ = [
     "restricted_view",
     "run_adaptive_protocol",
     "run_protocol",
+    "run_protocol_batch",
     "views_of",
 ]

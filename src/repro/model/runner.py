@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..engine import ExecutionEngine, TrialPlan, resolve_engine
 from ..graphs import Graph
 from .coins import PublicCoins
 from .messages import Message
@@ -131,26 +132,73 @@ def run_adaptive_protocol(
     )
 
 
+def _batch_trial(trial: int, seed: int, make_graph, protocol) -> ProtocolRun:
+    """One trial of a protocol batch (module-level for process pools)."""
+    graph = make_graph(trial)
+    return run_protocol(graph, protocol, PublicCoins(seed=seed))
+
+
+def run_protocol_batch(
+    make_graph,
+    protocol: SketchProtocol,
+    trials: int,
+    base_seed: int = 0,
+    engine: ExecutionEngine | None = None,
+) -> list[ProtocolRun]:
+    """Execute ``trials`` independent protocol runs through the engine.
+
+    ``make_graph(trial_index)`` produces each (possibly random) input;
+    per-trial public coins are hash-derived from ``base_seed`` (see
+    ``engine.seeds``), so serial and parallel execution — and any future
+    re-batching — return bit-identical runs.  For the process-pool
+    backend, ``make_graph`` and ``protocol`` must be picklable; the
+    engine degrades to serial execution otherwise.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    plan = TrialPlan(
+        fn=_batch_trial,
+        trials=trials,
+        base_seed=base_seed,
+        namespace="protocol-batch",
+        args=(make_graph, protocol),
+    )
+    return resolve_engine(engine).run_trials(plan).values
+
+
+def _success_trial(trial: int, seed: int, make_graph, protocol, check) -> bool:
+    """One success-probability trial (module-level for process pools)."""
+    graph = make_graph(trial)
+    run = run_protocol(graph, protocol, PublicCoins(seed=seed))
+    return bool(check(graph, run.output))
+
+
 def estimate_success_probability(
     make_graph,
     protocol: SketchProtocol,
     check,
     trials: int,
     base_seed: int = 0,
+    engine: ExecutionEngine | None = None,
 ) -> float:
     """Monte-Carlo success probability of a protocol over a graph source.
 
     ``make_graph(trial_index)`` produces the (possibly random) input and
     ``check(graph, output)`` decides correctness.  Fresh public coins per
-    trial, derived deterministically from ``base_seed``.
+    trial, hash-derived from ``base_seed`` through the engine's seed
+    scheme (the old ``base_seed * 1_000_003 + trial`` arithmetic collided
+    across base seeds).  A thin wrapper over a batched
+    :class:`~repro.engine.plan.TrialPlan`; pass ``engine`` to control the
+    backend, default is the process-global engine.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    successes = 0
-    for trial in range(trials):
-        graph = make_graph(trial)
-        coins = PublicCoins(seed=base_seed * 1_000_003 + trial)
-        run = run_protocol(graph, protocol, coins)
-        if check(graph, run.output):
-            successes += 1
-    return successes / trials
+    plan = TrialPlan(
+        fn=_success_trial,
+        trials=trials,
+        base_seed=base_seed,
+        namespace="protocol-batch",
+        args=(make_graph, protocol, check),
+    )
+    outcomes = resolve_engine(engine).run_trials(plan).values
+    return sum(outcomes) / trials

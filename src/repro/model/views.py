@@ -41,9 +41,12 @@ def views_of(graph: Graph, n: int | None = None) -> dict[int, VertexView]:
     """
     if n is None:
         n = graph.num_vertices()
+    # The cached adjacency view shares one frozenset per vertex across
+    # repeated calls — per-player neighbor re-freezing dominates view
+    # construction on large instances otherwise.
     return {
-        v: VertexView(n=n, vertex=v, neighbors=graph.neighbors(v))
-        for v in graph.vertices
+        v: VertexView(n=n, vertex=v, neighbors=neighbors)
+        for v, neighbors in graph.adjacency().items()
     }
 
 

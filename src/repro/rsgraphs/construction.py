@@ -75,10 +75,24 @@ def sum_class_rs_graph(m: int, ap_free: Sequence[int] | None = None) -> RSGraph:
     """Build the bipartite sum-class RS graph for left-part size m.
 
     ``ap_free`` defaults to the best available 3-AP-free subset of
-    {0, ..., m-1}; a custom set is verified before use.
+    {0, ..., m-1}; a custom set is verified before use.  The default
+    (parameter-only) construction is content-addressed in the engine's
+    construction cache — the result is shared, treat it as frozen.
     """
     if m < 1:
         raise ValueError("m must be positive")
+    if ap_free is None:
+        from ..engine import construction_cache
+
+        return construction_cache().get_or_build(
+            ("sum-class-rs-graph", m), lambda: _sum_class_rs_graph_uncached(m)
+        )
+    return _sum_class_rs_graph_uncached(m, ap_free)
+
+
+def _sum_class_rs_graph_uncached(
+    m: int, ap_free: Sequence[int] | None = None
+) -> RSGraph:
     if ap_free is None:
         ap_free = best_ap_free_set(m)
     else:

@@ -105,3 +105,55 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["experiment"] == "XCC"
         assert payload["data"]["rows"]
+
+
+class TestEngineFlags:
+    def test_run_with_workers(self, capsys):
+        assert main(["run", "F1", "--kw", "m=8", "k=2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend process-pool(2, fixed)" in out
+
+    def test_run_serial_summary(self, capsys):
+        assert main(["run", "F1", "--kw", "m=8", "k=2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend serial" in out
+        assert "cache" in out
+
+    def test_run_no_cache(self, capsys):
+        assert main(["run", "F1", "--kw", "m=8", "k=2", "--no-cache"]) == 0
+        assert "cache off" in capsys.readouterr().out
+
+    def test_run_cache_dir_persists(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["run", "F1", "--kw", "m=8", "k=2", "--cache-dir", cache_dir]
+        ) == 0
+        first = capsys.readouterr().out
+        assert list((tmp_path / "cache").glob("*.pkl"))
+        # A second run loads the constructions from disk: all hits.
+        assert main(
+            ["run", "F1", "--kw", "m=8", "k=2", "--cache-dir", cache_dir]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+        # Outputs identical either way — only the cache line may differ.
+        strip = lambda s: [l for l in s.splitlines() if "ran in" not in l]
+        assert strip(first) == strip(second)
+
+    def test_attack_with_workers_matches_serial(self, capsys):
+        args = ["attack", "sampled:1", "--m", "8", "--k", "2", "--trials", "4"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        strip = lambda s: [
+            l for l in s.splitlines() if not l.startswith("(ran in")
+        ]
+        assert strip(serial_out) == strip(parallel_out)
+
+    def test_invalid_workers_rejected(self, capsys):
+        for bad in ("0", "abc", ""):
+            with pytest.raises(SystemExit) as exc:
+                main(["run", "F1", "--workers", bad])
+            assert exc.value.code == 2
+        assert "positive" in capsys.readouterr().err

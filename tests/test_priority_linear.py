@@ -142,6 +142,6 @@ class TestLinearL0Matching:
 
         hard = scaled_distribution(m=10, k=3)
         result = attack_with_matching_protocol(
-            hard, LinearL0Matching(1), trials=6, seed=0
+            hard, LinearL0Matching(1), trials=10, seed=0
         )
         assert result.strict_success_rate < 0.5
