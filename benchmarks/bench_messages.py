@@ -1,0 +1,223 @@
+"""Codec micro-bench: packed bit codec vs the per-bit-list baseline.
+
+Times the message layer's hot loops — ``write_uint``/``read_uint``,
+varints, the bulk array helpers, a full sketch encode+decode, and one
+end-to-end ``run_protocol`` — for both the packed codec
+(:mod:`repro.model.messages`) and the historical per-bit-list reference
+(:mod:`repro.model.reference`), and reports transcript-enumeration
+memory for the Lemma 3.3–3.5 keys (packed bytes vs per-bit tuples).
+
+Two entry points:
+
+* ``pytest benchmarks/bench_messages.py --benchmark-only`` — the usual
+  pytest-benchmark harness (part of ``make bench``);
+* ``python benchmarks/bench_messages.py [--out BENCH_codec.json]`` — the
+  CI smoke job: runs every section with ``time.perf_counter``, prints an
+  ops/sec table, and emits a JSON artifact seeding the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.builders import erdos_renyi
+from repro.model import BitWriter, PublicCoins, run_protocol
+from repro.model.reference import LegacyBitWriter
+from repro.sketches import AGMSpanningForest
+
+_RNG = random.Random(1234)
+#: 61 bits is the repo's dominant hot field: the one-sparse fingerprint
+#: width (q = 2^61 - 1) written per level per sampler per player.
+_FIELD_WIDTH = 61
+_VALUES = [_RNG.randrange(1 << _FIELD_WIDTH) for _ in range(512)]
+_VARINTS = [_RNG.randrange(1 << 28) for _ in range(512)]
+
+
+# ----------------------------------------------------------------------
+# Workloads (shared between pytest-benchmark and the smoke runner)
+# ----------------------------------------------------------------------
+
+
+def _write_uint_loop(writer_cls):
+    writer = writer_cls()
+    for v in _VALUES:
+        writer.write_uint(v, _FIELD_WIDTH)
+    return writer.to_message()
+
+
+def _read_uint_loop(message):
+    reader = message.reader()
+    for _ in _VALUES:
+        reader.read_uint(_FIELD_WIDTH)
+    return reader
+
+
+def _varint_loop(writer_cls):
+    writer = writer_cls()
+    for v in _VARINTS:
+        writer.write_varint(v)
+    message = writer.to_message()
+    reader = message.reader()
+    for _ in _VARINTS:
+        reader.read_varint()
+    return message
+
+
+def _uint_array_bulk():
+    writer = BitWriter()
+    writer.write_uint_array(_VALUES, _FIELD_WIDTH)
+    message = writer.to_message()
+    return message.reader().read_uint_array(len(_VALUES), _FIELD_WIDTH)
+
+
+def _agm_end_to_end():
+    graph = erdos_renyi(16, 0.3, random.Random(5))
+    coins = PublicCoins(seed=99)
+    return run_protocol(graph, AGMSpanningForest(), coins)
+
+
+def _transcript_key_memory() -> dict[str, int]:
+    """Bytes per pmf key: packed Message payload vs per-bit tuple."""
+    writer = BitWriter()
+    for v in _VALUES[:16]:
+        writer.write_uint(v, _FIELD_WIDTH)
+    message = writer.to_message()
+    tuple_key = message.bits
+    packed_key = (message.payload, message.num_bits)
+    return {
+        "num_bits": message.num_bits,
+        "tuple_key_bytes": sys.getsizeof(tuple_key)
+        + sum(sys.getsizeof(b) for b in set(tuple_key)),
+        "packed_key_bytes": sys.getsizeof(packed_key)
+        + sys.getsizeof(message.payload)
+        + sys.getsizeof(message.num_bits),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_bench_write_uint_packed(benchmark):
+    message = benchmark(_write_uint_loop, BitWriter)
+    assert message.num_bits == _FIELD_WIDTH * len(_VALUES)
+
+
+def test_bench_write_uint_legacy_baseline(benchmark):
+    message = benchmark(_write_uint_loop, LegacyBitWriter)
+    assert message.num_bits == _FIELD_WIDTH * len(_VALUES)
+
+
+def test_bench_read_uint_packed(benchmark):
+    message = _write_uint_loop(BitWriter)
+    reader = benchmark(_read_uint_loop, message)
+    assert reader.remaining == 0
+
+
+def test_bench_read_uint_legacy_baseline(benchmark):
+    message = _write_uint_loop(LegacyBitWriter)
+    reader = benchmark(_read_uint_loop, message)
+    assert reader.remaining == 0
+
+
+def test_bench_varint_roundtrip_packed(benchmark):
+    benchmark(_varint_loop, BitWriter)
+
+
+def test_bench_uint_array_bulk(benchmark):
+    assert benchmark(_uint_array_bulk) == _VALUES
+
+
+def test_bench_run_protocol_agm(benchmark):
+    run = benchmark(_agm_end_to_end)
+    assert run.max_bits > 0
+
+
+# ----------------------------------------------------------------------
+# Smoke-mode runner (CI artifact)
+# ----------------------------------------------------------------------
+
+
+def _time_ops(fn, *args, min_seconds: float = 0.2) -> float:
+    """Run ``fn`` repeatedly for >= min_seconds; return seconds/call."""
+    fn(*args)  # warm up
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn(*args)
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return elapsed / calls
+
+
+def run_smoke() -> dict:
+    ops = len(_VALUES)
+    packed_msg = _write_uint_loop(BitWriter)
+    legacy_msg = _write_uint_loop(LegacyBitWriter)
+    assert tuple(packed_msg.bits) == legacy_msg.bits
+
+    sections = {
+        "write_uint": {
+            "packed": ops / _time_ops(_write_uint_loop, BitWriter),
+            "legacy": ops / _time_ops(_write_uint_loop, LegacyBitWriter),
+        },
+        "read_uint": {
+            "packed": ops / _time_ops(_read_uint_loop, packed_msg),
+            "legacy": ops / _time_ops(_read_uint_loop, legacy_msg),
+        },
+        "varint_roundtrip": {
+            "packed": len(_VARINTS) / _time_ops(_varint_loop, BitWriter),
+            "legacy": len(_VARINTS) / _time_ops(_varint_loop, LegacyBitWriter),
+        },
+        "write_uint_array_bulk": {
+            "packed": ops / _time_ops(_uint_array_bulk),
+        },
+    }
+    for name, section in sections.items():
+        if "legacy" in section:
+            section["speedup"] = section["packed"] / section["legacy"]
+
+    report = {
+        "unit": "ops per second (field writes or reads)",
+        "sections": sections,
+        "run_protocol_agm_seconds": _time_ops(_agm_end_to_end, min_seconds=0.5),
+        "transcript_key_memory": _transcript_key_memory(),
+    }
+    return report
+
+
+def main(argv: list[str]) -> int:
+    out = None
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    report = run_smoke()
+    for name, section in report["sections"].items():
+        line = f"{name:24s} packed {section['packed']:>12.0f} ops/s"
+        if "legacy" in section:
+            line += (
+                f"   legacy {section['legacy']:>12.0f} ops/s"
+                f"   speedup {section['speedup']:.1f}x"
+            )
+        print(line)
+    mem = report["transcript_key_memory"]
+    print(
+        f"transcript key ({mem['num_bits']} bits): "
+        f"packed {mem['packed_key_bytes']} B vs tuple {mem['tuple_key_bytes']} B"
+    )
+    print(f"run_protocol(AGM, n=16): {report['run_protocol_agm_seconds']:.3f} s")
+    if out is not None:
+        out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

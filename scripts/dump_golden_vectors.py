@@ -1,0 +1,160 @@
+"""Dump golden message vectors pinning the codec's charged bits.
+
+For every protocol in the registry, plus one sketch from each
+upper-bound family (AGM spanning forest, linear L0 matching,
+crossing-edge, palette coloring, connectivity certificate), this script
+runs the protocol on a fixed graph with fixed public coins and records:
+
+* every player's serialized message as packed hex bytes (MSB-first) and
+  its charged ``num_bits``;
+* a canonical string form of the referee's decoded output.
+
+The resulting JSON (``tests/data/golden_messages.json``) is the
+bit-for-bit contract of the message layer: any codec change that alters
+a single charged bit of any protocol fails ``test_golden_vectors.py``.
+Regenerate deliberately with::
+
+    PYTHONPATH=src python scripts/dump_golden_vectors.py
+
+The script is representation-agnostic so the same fixtures can be
+produced by the per-bit-list codec (pre-refactor) and the packed-bytes
+codec (post-refactor): it uses ``Message.to_bytes()`` when available and
+falls back to packing the ``bits`` tuple itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.builders import erdos_renyi, two_random_components_with_bridge
+from repro.model import PublicCoins, run_protocol
+from repro.protocols.registry import make_protocol
+from repro.sketches import (
+    AGMSpanningForest,
+    ConnectivityCertificate,
+    CrossingEdgeProtocol,
+    PaletteSparsificationColoring,
+)
+
+SEED = 2020
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_messages.json"
+
+#: family[:args] specs exercising every registry family on the shared graph.
+REGISTRY_SPECS = [
+    "full",
+    "sampled:2",
+    "degree-adaptive:2",
+    "low-degree:4",
+    "hybrid:3,2",
+    "priority:1",
+    "linear:1",
+    "mis-full",
+    "mis-sampled:2",
+    "mis-local-min",
+    "mis-patched:2",
+]
+
+
+def pack_bits(bits) -> bytes:
+    """MSB-first packing of a bit sequence, zero-padded in the last byte."""
+    out = bytearray((len(bits) + 7) // 8)
+    for i, b in enumerate(bits):
+        if b:
+            out[i >> 3] |= 0x80 >> (i & 7)
+    return bytes(out)
+
+
+def message_bytes(message) -> bytes:
+    to_bytes = getattr(message, "to_bytes", None)
+    if to_bytes is not None:
+        return to_bytes()
+    return pack_bits(message.bits)
+
+
+def stable(obj) -> str:
+    """A deterministic, order-independent string form of a decode output."""
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ", ".join(sorted(stable(x) for x in obj)) + "}"
+    if isinstance(obj, tuple):
+        return "(" + ", ".join(stable(x) for x in obj) + ")"
+    if isinstance(obj, list):
+        return "[" + ", ".join(stable(x) for x in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted((stable(k), stable(v)) for k, v in obj.items())
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ", ".join(
+            f"{f.name}={stable(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({fields})"
+    return repr(obj)
+
+
+def record_run(graph, protocol, coins) -> dict:
+    run = run_protocol(graph, protocol, coins)
+    sketches = run.transcript.sketches
+    return {
+        "players": {
+            str(v): {
+                "num_bits": m.num_bits,
+                "payload": message_bytes(m).hex(),
+            }
+            for v, m in sorted(sketches.items())
+        },
+        "max_bits": run.max_bits,
+        "output": stable(run.output),
+    }
+
+
+def build_golden() -> dict:
+    coins = PublicCoins(seed=SEED)
+    shared_graph = erdos_renyi(12, 0.35, random.Random(7))
+    bridge_graph, _bridge = two_random_components_with_bridge(
+        5, 0.8, random.Random(11)
+    )
+    max_degree = shared_graph.max_degree()
+
+    cases: dict[str, dict] = {}
+    for spec in REGISTRY_SPECS:
+        cases[f"registry/{spec}"] = record_run(
+            shared_graph, make_protocol(spec), coins
+        )
+    cases["family/agm-spanning-forest"] = record_run(
+        shared_graph, AGMSpanningForest(), coins
+    )
+    cases["family/linear-l0"] = record_run(
+        shared_graph, make_protocol("linear:2"), coins
+    )
+    cases["family/crossing-edge"] = record_run(
+        bridge_graph, CrossingEdgeProtocol(samples_per_vertex=4), coins
+    )
+    cases["family/coloring"] = record_run(
+        shared_graph, PaletteSparsificationColoring(max_degree), coins
+    )
+    cases["family/certificate"] = record_run(
+        shared_graph, ConnectivityCertificate(k=2), coins
+    )
+    return {
+        "seed": SEED,
+        "graph": "erdos_renyi(12, 0.35, Random(7)) / bridge(5, 0.8, Random(11))",
+        "cases": cases,
+    }
+
+
+def main() -> None:
+    golden = build_golden()
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    total = sum(len(c["players"]) for c in golden["cases"].values())
+    print(f"wrote {OUT} ({len(golden['cases'])} cases, {total} messages)")
+
+
+if __name__ == "__main__":
+    main()

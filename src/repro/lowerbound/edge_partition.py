@@ -33,6 +33,7 @@ from ..model import (
     encode_vertex_set,
     id_width_for,
 )
+from ..model.messages import assert_packed_accounting
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,7 @@ def run_edge_partition_protocol(
         n = graph.num_vertices()
     views = partition_edges(graph, num_players, rng, n=n)
     sketches = {v.player: protocol.sketch(v, coins) for v in views}
+    assert_packed_accounting(sketches.values())
     output = protocol.decode(n, sketches, coins)
     bits = [m.num_bits for m in sketches.values()]
     return EdgePartitionRun(

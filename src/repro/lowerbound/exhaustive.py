@@ -186,13 +186,19 @@ def optimal_success(
                         correct.add(frozenset(subset))
             outcome_correct.append(correct)
 
+    # Transcripts are grouped by a packed key: with <= 2^b <= 256 blocks
+    # per player, one byte per player (mirroring the packed Message
+    # payloads of the runtime codec) hashes far faster than a tuple of
+    # ints; beyond 8 bits per message fall back to tuples.
+    pack_transcript: type = bytes if bits <= 8 else tuple
+
     best = 0.0
     for joint in itertools.product(*per_player_strategies):
         strategy = dict(zip(players, joint))
         # Group outcomes by (j*, transcript); Bayes referee per group.
         groups: dict[tuple, list[int]] = {}
         for idx, inst in enumerate(outcomes):
-            transcript = tuple(
+            transcript = pack_transcript(
                 strategy[v][outcome_views[idx][v]] for v in players
             )
             groups.setdefault((inst.j_star, transcript), []).append(idx)

@@ -177,15 +177,17 @@ def analyze_protocol(
                 hard=hard, j_star=j_star, sigma=sigma, indicators=table
             )
             split = player_split(instance)
+            # Messages are hashable packed bytes, so they key the pmf
+            # directly — no per-bit tuples are ever materialized.
             pi_p = tuple(
-                protocol.sketch(split.public[label], coins).bits
+                protocol.sketch(split.public[label], coins)
                 for label in sorted(split.public)
             )
             pi_u = []
             for i in range(k):
                 pi_u.append(
                     tuple(
-                        protocol.sketch(split.unique[(i, v)], coins).bits
+                        protocol.sketch(split.unique[(i, v)], coins)
                         for v in sorted(
                             rs_v for (ci, rs_v) in split.unique if ci == i
                         )
@@ -193,8 +195,8 @@ def analyze_protocol(
                 )
             worst_bits = max(
                 worst_bits,
-                max((len(b) for b in pi_p), default=0),
-                max((len(b) for group in pi_u for b in group), default=0),
+                max((m.num_bits for m in pi_p), default=0),
+                max((m.num_bits for group in pi_u for m in group), default=0),
             )
 
             # Referee: the ordinary-model players (Remark: extra copies of

@@ -7,6 +7,7 @@ from .messages import (
     BitReader,
     BitWriter,
     Message,
+    assert_packed_accounting,
     decode_vertex_set,
     encode_vertex_set,
     id_width_for,
@@ -38,6 +39,7 @@ __all__ = [
     "Transcript",
     "VertexView",
     "as_one_round_bcc",
+    "assert_packed_accounting",
     "decode_vertex_set",
     "encode_vertex_set",
     "estimate_success_probability",

@@ -17,7 +17,7 @@ from typing import Any
 from ..engine import ExecutionEngine, TrialPlan, resolve_engine
 from ..graphs import Graph
 from .coins import PublicCoins
-from .messages import Message
+from .messages import Message, assert_packed_accounting
 from .protocol import AdaptiveProtocol, SketchProtocol
 from .views import VertexView, views_of
 
@@ -27,6 +27,11 @@ class Transcript:
     """All messages of one protocol execution, with cost accounting."""
 
     sketches: dict[int, Message]
+
+    def __post_init__(self) -> None:
+        # The transcript is where communication is charged: every player's
+        # packed payload must account for exactly its num_bits.
+        assert_packed_accounting(self.sketches.values())
 
     @property
     def max_bits(self) -> int:

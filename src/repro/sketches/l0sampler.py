@@ -129,11 +129,37 @@ class L0Sampler:
         return total_width, index_sum_width, fingerprint_width
 
     def encode(self, writer: BitWriter, max_value_magnitude: int) -> None:
+        """Serialize all levels as one packed word write.
+
+        Bit-identical to the historical per-field loop of
+        ``write_int(total); write_int(index_sum); write_uint(fingerprint)``
+        per level — the fields are concatenated MSB-first in the same
+        order — but the writer flushes once instead of 3 * num_levels
+        times.
+        """
         tw, iw, fw = self.encoded_widths(max_value_magnitude)
+        t_lo, t_hi = -(1 << (tw - 1)), (1 << (tw - 1)) - 1
+        i_lo, i_hi = -(1 << (iw - 1)), (1 << (iw - 1)) - 1
+        t_mask, i_mask = (1 << tw) - 1, (1 << iw) - 1
+        f_bound = 1 << fw
+        word = 0
         for level in self.levels:
-            writer.write_int(level.total, tw)
-            writer.write_int(level.index_sum, iw)
-            writer.write_uint(level.fingerprint, fw)
+            if not t_lo <= level.total <= t_hi:
+                raise ValueError(
+                    f"value {level.total} does not fit signed in {tw} bits"
+                )
+            if not i_lo <= level.index_sum <= i_hi:
+                raise ValueError(
+                    f"value {level.index_sum} does not fit signed in {iw} bits"
+                )
+            if not 0 <= level.fingerprint < f_bound:
+                raise ValueError(
+                    f"value {level.fingerprint} does not fit in {fw} bits"
+                )
+            word = (word << tw) | (level.total & t_mask)
+            word = (word << iw) | (level.index_sum & i_mask)
+            word = (word << fw) | level.fingerprint
+        writer.write_uint(word, (tw + iw + fw) * len(self.levels))
 
     @classmethod
     def decode(
@@ -144,10 +170,22 @@ class L0Sampler:
         label: str,
         max_value_magnitude: int,
     ) -> "L0Sampler":
+        """Inverse of :meth:`encode`: one block read, then shift/mask."""
         sampler = cls(config, coins, label)
         tw, iw, fw = sampler.encoded_widths(max_value_magnitude)
+        level_width = tw + iw + fw
+        word = reader.read_uint(level_width * len(sampler.levels))
+        t_mask, i_mask, f_mask = (1 << tw) - 1, (1 << iw) - 1, (1 << fw) - 1
+        t_sign, i_sign = 1 << (tw - 1), 1 << (iw - 1)
+        shift = level_width * len(sampler.levels)
         for level in sampler.levels:
-            level.total = reader.read_int(tw)
-            level.index_sum = reader.read_int(iw)
-            level.fingerprint = reader.read_uint(fw)
+            shift -= level_width
+            chunk = word >> shift
+            total = (chunk >> (iw + fw)) & t_mask
+            index_sum = (chunk >> fw) & i_mask
+            level.total = total - (t_mask + 1) if total >= t_sign else total
+            level.index_sum = (
+                index_sum - (i_mask + 1) if index_sum >= i_sign else index_sum
+            )
+            level.fingerprint = chunk & f_mask
         return sampler

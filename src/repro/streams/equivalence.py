@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from ..graphs import Edge
-from ..model import BitWriter, Message, PublicCoins
+from ..model import BitWriter, Message, PublicCoins, assert_packed_accounting
 from ..sketches import AGMParameters, AGMSpanningForest, L0Config, L0Sampler
 from ..sketches.incidence import edge_coordinate
 from .stream import Op, StreamEvent
@@ -35,9 +35,9 @@ def stream_to_distributed_sketches(
     """Maintain AGM player messages under a dynamic stream.
 
     Returns the same per-vertex messages the one-round protocol's
-    players would send for the stream's final graph — byte-for-byte,
-    because both sides compute the same linear functions with the same
-    public coins.
+    players would send for the stream's final graph — byte-for-byte in
+    the literal sense (equal packed ``Message.payload``), because both
+    sides compute the same linear functions with the same public coins.
     """
     params = params or AGMParameters.for_n(n)
     config = L0Config.for_universe(n * n)
@@ -65,6 +65,9 @@ def stream_to_distributed_sketches(
         for label in labels:
             samplers[(v, label)].encode(writer, max_value_magnitude=n)
         messages[v] = writer.to_message()
+    # The stream side charges the same bits as the distributed side:
+    # enforce the packed-payload/num_bits contract here too.
+    assert_packed_accounting(messages.values())
     return messages
 
 

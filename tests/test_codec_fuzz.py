@@ -5,10 +5,18 @@ exact, so we fuzz arbitrary interleavings of the codecs and assert
 perfect roundtrips and exact bit accounting.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.model import BitReader, BitWriter, decode_vertex_set, encode_vertex_set
+from repro.model import (
+    BitReader,
+    BitWriter,
+    Message,
+    decode_vertex_set,
+    encode_vertex_set,
+)
+from repro.model.reference import LegacyBitWriter
 
 # One codec operation: (kind, value, width) with the width only
 # meaningful for fixed-width kinds.
@@ -101,3 +109,136 @@ def test_raw_bits_roundtrip(bits):
     assert list(message.bits) == bits
     reader = BitReader(message)
     assert [reader.read_bit() for _ in bits] == bits
+
+
+# ----------------------------------------------------------------------
+# Cross-representation: packed writer vs the per-bit-list oracle
+# ----------------------------------------------------------------------
+
+# Values straddling the varint group edges: every 7-bit group boundary
+# (7/14/21 bits) with its -1/0/+1 neighborhood.
+_varint_edges = sorted(
+    {0, 1, *(v + d for v in ((1 << 7), (1 << 14), (1 << 21)) for d in (-1, 0, 1))}
+)
+
+_xops = st.one_of(
+    _ops,
+    st.tuples(st.just("varint"), st.sampled_from(_varint_edges), st.just(0)),
+    st.tuples(
+        st.just("uint_array"),
+        st.lists(st.integers(0, 2**12 - 1), max_size=8),
+        st.just(12),
+    ),
+)
+
+
+def _apply(writer, ops, array_as_loop: bool):
+    """Replay an op sequence; the oracle lacks bulk ops, so arrays become
+    per-element write_uint loops (the bulk helpers' defined semantics)."""
+    for kind, value, width in ops:
+        if kind == "bit":
+            writer.write_bit(value)
+        elif kind == "uint":
+            writer.write_uint(value, width)
+        elif kind == "varint":
+            writer.write_varint(value)
+        elif kind == "uint_array":
+            if array_as_loop:
+                for v in value:
+                    writer.write_uint(v, width)
+            else:
+                writer.write_uint_array(value, width)
+        else:
+            writer.write_int(value, width)
+
+
+@given(st.lists(_xops, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_packed_matches_legacy_oracle(ops):
+    """The packed writer and the historical per-bit-list reference emit
+    identical bit strings, lengths, and roundtrips for any op sequence."""
+    packed = BitWriter()
+    _apply(packed, ops, array_as_loop=False)
+    legacy = LegacyBitWriter()
+    _apply(legacy, ops, array_as_loop=True)
+
+    message = packed.to_message()
+    oracle = legacy.to_message()
+    assert packed.num_bits == legacy.num_bits
+    assert message.num_bits == oracle.num_bits
+    assert message.bits == oracle.bits
+    assert message == Message.from_bits(oracle.bits)
+    assert message.to_bytes() == Message.from_bits(oracle.bits).payload
+
+    reader = message.reader()
+    oracle_reader = oracle.reader()
+    for kind, value, width in ops:
+        if kind == "bit":
+            assert reader.read_bit() == oracle_reader.read_bit() == value
+        elif kind == "uint":
+            assert reader.read_uint(width) == oracle_reader.read_uint(width) == value
+        elif kind == "varint":
+            assert reader.read_varint() == oracle_reader.read_varint() == value
+        elif kind == "uint_array":
+            got = reader.read_uint_array(len(value), width)
+            assert got == [oracle_reader.read_uint(width) for _ in value]
+            assert got == list(value)
+        else:
+            assert reader.read_int(width) == oracle_reader.read_int(width) == value
+    assert reader.remaining == oracle_reader.remaining == 0
+
+
+@given(st.integers(0, 2**24))
+@settings(max_examples=120, deadline=None)
+def test_varint_group_boundaries_match_oracle(value):
+    packed = BitWriter()
+    packed.write_varint(value)
+    legacy = LegacyBitWriter()
+    legacy.write_varint(value)
+    assert packed.to_message().bits == legacy.to_message().bits
+    groups = max(1, -(-max(value.bit_length(), 1) // 7))
+    assert packed.num_bits == 8 * groups
+
+
+# ----------------------------------------------------------------------
+# Signed-width validation (regression: width=0 used to surface as a
+# baffling "negative shift count" ValueError from 1 << (width - 1))
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("width", [0, -1, -7])
+def test_write_int_rejects_nonpositive_width(width):
+    with pytest.raises(ValueError, match="signed width must be >= 1"):
+        BitWriter().write_int(0, width)
+
+
+@pytest.mark.parametrize("width", [0, -1, -7])
+def test_read_int_rejects_nonpositive_width(width):
+    writer = BitWriter()
+    writer.write_uint(0b1010, 4)
+    with pytest.raises(ValueError, match="signed width must be >= 1"):
+        writer.to_message().reader().read_int(width)
+
+
+def test_message_payload_is_canonical_packed_bytes():
+    writer = BitWriter()
+    writer.write_uint(0b1011, 4)
+    writer.write_uint(0xAB, 8)
+    message = writer.to_message()
+    assert message.num_bits == 12
+    assert message.to_bytes() == bytes([0b10111010, 0b10110000])
+    assert Message(message.to_bytes(), 12) == message
+    with pytest.raises(ValueError, match="padding"):
+        Message(bytes([0b10111010, 0b10110001]), 12)
+    with pytest.raises(ValueError, match="cannot hold"):
+        Message(bytes([0xFF]), 12)
+
+
+def test_message_is_immutable_and_hashable():
+    message = Message.from_bits((1, 0, 1))
+    with pytest.raises(AttributeError):
+        message.num_bits = 5
+    assert message == Message.from_bits([1, 0, 1])
+    assert hash(message) == hash(Message.from_bits([1, 0, 1]))
+    # Same payload byte, different charged length: distinct messages.
+    assert Message.from_bits((1, 0, 1)) != Message.from_bits((1, 0, 1, 0))

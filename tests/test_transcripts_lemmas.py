@@ -275,6 +275,48 @@ class TestInformationInvariances:
         assert b.information_revealed == pytest.approx(a.information_revealed)
 
 
+class TestPackedTranscriptKeys:
+    """The pmf keys transcripts by packed Messages (hashable bytes); the
+    joint distribution must be identical to the historical per-bit-tuple
+    keying — same groups, same masses."""
+
+    def test_transcript_entries_are_packed_messages(self, full_analysis):
+        from repro.model import Message
+
+        names = list(full_analysis.dist.variables)
+        pi_p_index = names.index("PiP")
+        for outcome in full_analysis.dist.pmf:
+            assert all(isinstance(m, Message) for m in outcome[pi_p_index])
+            for i in range(MICRO.k):
+                group = outcome[names.index(f"PiU_{i}")]
+                assert all(isinstance(m, Message) for m in group)
+
+    def test_distribution_identical_under_bit_tuple_regrouping(
+        self, full_analysis, cheap_analysis
+    ):
+        """Re-keying every Message as its per-bit tuple neither merges nor
+        splits any outcome: the packed representation is a bijective
+        relabeling, so all Lemma 3.3–3.5 quantities are unchanged."""
+        from repro.model import Message
+
+        def unpack(value):
+            if isinstance(value, Message):
+                return value.bits
+            if isinstance(value, tuple):
+                return tuple(unpack(x) for x in value)
+            return value
+
+        for analysis in (full_analysis, cheap_analysis):
+            regrouped = {}
+            for outcome, prob in analysis.dist.pmf.items():
+                key = unpack(outcome)
+                regrouped[key] = regrouped.get(key, 0.0) + prob
+            assert len(regrouped) == len(analysis.dist.pmf)
+            assert sorted(regrouped.values()) == pytest.approx(
+                sorted(analysis.dist.pmf.values())
+            )
+
+
 class TestExactVsMonteCarlo:
     """The exact enumeration and Monte-Carlo sampling are independent
     code paths; their error probabilities must agree."""
