@@ -1,0 +1,300 @@
+"""Graph-core micro-bench: frozen CSR graphs vs the dict-of-sets builder.
+
+Times the graph layer's hot paths — ``freeze``, per-protocol-run
+``views_of``, a full D_MM sample (instance graph + player views), cache
+keying, and ``induced_subgraph`` — for both the frozen CSR core
+(:mod:`repro.graphs.frozen`) and the historical mutable dict-of-sets
+path, on the workload shapes the experiments actually run.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_graphs.py --benchmark-only`` — the usual
+  pytest-benchmark harness (part of ``make bench``);
+* ``python benchmarks/bench_graphs.py [--out BENCH_graphs.json]`` — the
+  CI smoke job: runs every section with ``time.perf_counter``, prints an
+  ops/sec table, and emits a JSON artifact seeding the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import ConstructionCache, cache_key
+from repro.graphs import FrozenGraph, Graph
+from repro.graphs.builders import erdos_renyi
+from repro.lowerbound import sample_dmm, sample_dmm_family, scaled_distribution
+from repro.model import views_of
+
+_N = 200
+_BASE = erdos_renyi(_N, 0.05, random.Random(7))
+_FROZEN = _BASE.freeze()
+_KEEP = range(0, _N, 2)
+
+#: The experiments' workhorse distribution (the budget sweep rebuilds
+#: scaled_distribution(m=12, k=4) once per knob — see engine/cache.py).
+_HARD = scaled_distribution(12, 4)
+_TRIALS = 8
+_FAMILY = sample_dmm_family(_HARD, _TRIALS, base_seed=3)
+_FAMILY_CACHE = ConstructionCache()
+_FAMILY_CACHE.get_or_build(("bench-family", _HARD.cache_token), lambda: _FAMILY)
+
+#: Protocol-loop length for the views workload: each experiment trial
+#: rebuilds every player's view once per protocol run.
+_RUNS = 20
+
+
+# ----------------------------------------------------------------------
+# Workloads (shared between pytest-benchmark and the smoke runner)
+# ----------------------------------------------------------------------
+
+
+def _freeze_once() -> FrozenGraph:
+    return _BASE.freeze()
+
+
+def _views_loop_frozen():
+    """R protocol runs over one frozen graph: the adjacency dict is
+    materialized from CSR slices once for the graph's lifetime."""
+    out = None
+    for _ in range(_RUNS):
+        out = views_of(_FROZEN)
+    return out
+
+
+def _views_loop_builder():
+    """The historical pattern: a mutable graph in a stream/churn loop.
+    Any mutation between runs invalidates the builder's cached view, so
+    every run re-freezes all n neighbor sets."""
+    g = _BASE
+    out = None
+    for _ in range(_RUNS):
+        g.add_vertex(_N + 1)  # the kind of touch a replay loop makes
+        g._adj.pop(_N + 1)
+        g._adjacency_view = None
+        out = views_of(g)
+    return out
+
+
+def _hard_token_digest() -> str:
+    """The distribution's content address as keyed today: the RS graph
+    contributes its precomputed SHA-256 digest (O(1) to read off)."""
+    rs = _HARD.rs
+    return cache_key(("hard-distribution", _HARD.k, rs.cache_token))
+
+
+def _hard_token_sorted_baseline() -> str:
+    """The seed's rendering: sort every vertex and edge of the RS graph
+    into the key material per keying (O(N + m log m) each time)."""
+    g = _HARD.rs.graph
+    return cache_key(
+        (
+            "hard-distribution",
+            _HARD.k,
+            tuple(sorted(g.vertices)),
+            tuple(sorted(g.edges())),
+            _HARD.rs.matchings,
+        )
+    )
+
+
+def _fail():  # the family accesses below must always hit
+    raise AssertionError("expected a warm cache hit")
+
+
+_FAMILY_CACHE.get_or_build(("bench-family", _hard_token_sorted_baseline()), lambda: _FAMILY)
+
+
+def _dmm_family_access_frozen():
+    """One warm ``sample_dmm_family`` access — the path every experiment
+    takes to its instances: key the family, hit the engine cache."""
+    return _FAMILY_CACHE.get_or_build(("bench-family", _hard_token_digest()), _fail)
+
+
+def _dmm_family_access_dict_baseline():
+    return _FAMILY_CACHE.get_or_build(
+        ("bench-family", _hard_token_sorted_baseline()), _fail
+    )
+
+
+def _dmm_family_views():
+    """Player views for every instance of the warm family: the per-sweep
+    views workload over D_MM graphs (each instance graph is frozen and
+    its adjacency view is shared across repeated builds)."""
+    out = None
+    for instance in _FAMILY:
+        out = views_of(instance.graph, n=_HARD.n)
+    return out
+
+
+def _induced_frozen():
+    return _FROZEN.induced_subgraph(_KEEP)
+
+
+def _induced_builder():
+    return _BASE.induced_subgraph(_KEEP)
+
+
+def _cache_key_digest():
+    """Engine cache key off a frozen graph: O(1) digest read."""
+    return cache_key(("bench", _FROZEN, 3))
+
+
+def _cache_key_sorted_tuple_baseline():
+    """The pre-digest rendering: sort every vertex and edge per key."""
+    return cache_key(
+        ("bench", tuple(sorted(_BASE.vertices)), tuple(sorted(_BASE.edges())), 3)
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_bench_freeze(benchmark):
+    frozen = benchmark(_freeze_once)
+    assert frozen == _BASE
+
+
+def test_bench_views_frozen(benchmark):
+    views = benchmark(_views_loop_frozen)
+    assert len(views) == _N
+
+
+def test_bench_views_builder_baseline(benchmark):
+    views = benchmark(_views_loop_builder)
+    assert len(views) == _N
+
+
+def test_bench_dmm_family_access_frozen(benchmark):
+    family = benchmark(_dmm_family_access_frozen)
+    assert len(family) == _TRIALS
+
+
+def test_bench_dmm_family_access_dict_baseline(benchmark):
+    family = benchmark(_dmm_family_access_dict_baseline)
+    assert len(family) == _TRIALS
+
+
+def test_bench_dmm_family_views(benchmark):
+    views = benchmark(_dmm_family_views)
+    assert len(views) == _HARD.n
+
+
+def test_bench_induced_subgraph_frozen(benchmark):
+    sub = benchmark(_induced_frozen)
+    assert sub.num_vertices() == len(_KEEP)
+
+
+def test_bench_induced_subgraph_builder_baseline(benchmark):
+    sub = benchmark(_induced_builder)
+    assert sub.num_vertices() == len(_KEEP)
+
+
+def test_bench_cache_key_digest(benchmark):
+    benchmark(_cache_key_digest)
+
+
+def test_bench_cache_key_sorted_tuple_baseline(benchmark):
+    benchmark(_cache_key_sorted_tuple_baseline)
+
+
+# ----------------------------------------------------------------------
+# Smoke-mode runner (CI artifact)
+# ----------------------------------------------------------------------
+
+
+def _time_ops(fn, *args, min_seconds: float = 0.2) -> float:
+    """Run ``fn`` repeatedly for >= min_seconds; return seconds/call."""
+    fn(*args)  # warm up
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn(*args)
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return elapsed / calls
+
+
+def _dmm_sample_to_views():
+    """Absolute floor of one fresh D_MM draw to player views."""
+    instance = sample_dmm(_HARD, random.Random(11))
+    return views_of(instance.graph, n=_HARD.n)
+
+
+def run_smoke() -> dict:
+    # Correctness cross-checks before timing anything.
+    assert _views_loop_frozen() == _views_loop_builder()
+    assert _dmm_family_access_frozen() is _dmm_family_access_dict_baseline()
+    assert _induced_frozen() == _induced_builder()
+
+    sections = {
+        "views_of_protocol_loop": {
+            "frozen": _RUNS / _time_ops(_views_loop_frozen),
+            "dict": _RUNS / _time_ops(_views_loop_builder),
+        },
+        "dmm_family_access": {
+            "frozen": 1 / _time_ops(_dmm_family_access_frozen),
+            "dict": 1 / _time_ops(_dmm_family_access_dict_baseline),
+        },
+        "induced_subgraph": {
+            "frozen": 1 / _time_ops(_induced_frozen),
+            "dict": 1 / _time_ops(_induced_builder),
+        },
+        "cache_key": {
+            "frozen": 1 / _time_ops(_cache_key_digest),
+            "dict": 1 / _time_ops(_cache_key_sorted_tuple_baseline),
+        },
+        "freeze": {
+            "frozen": 1 / _time_ops(_freeze_once),
+        },
+        "dmm_family_views": {
+            "frozen": _TRIALS / _time_ops(_dmm_family_views),
+        },
+    }
+    for section in sections.values():
+        if "dict" in section:
+            section["speedup"] = section["frozen"] / section["dict"]
+
+    report = {
+        "unit": "ops per second (views builds, family accesses, keys, freezes)",
+        "graph": {"n": _N, "m": _BASE.num_edges()},
+        "dmm": {"n": _HARD.n, "trials": _TRIALS},
+        "sections": sections,
+        "dmm_sample_to_views_seconds": _time_ops(_dmm_sample_to_views),
+    }
+    return report
+
+
+def main(argv: list[str]) -> int:
+    out = None
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    report = run_smoke()
+    for name, section in report["sections"].items():
+        line = f"{name:24s} frozen {section['frozen']:>12.0f} ops/s"
+        if "dict" in section:
+            line += (
+                f"   dict {section['dict']:>12.0f} ops/s"
+                f"   speedup {section['speedup']:.1f}x"
+            )
+        print(line)
+    print(
+        f"sample_dmm -> views (n={report['dmm']['n']}): "
+        f"{report['dmm_sample_to_views_seconds'] * 1e3:.2f} ms"
+    )
+    if out is not None:
+        out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -36,17 +36,36 @@ from typing import Any, TypeVar
 T = TypeVar("T")
 
 #: Bump to invalidate every existing key (schema/representation changes).
-CACHE_SCHEMA_VERSION = 1
+#: v2: graph-bearing constructions are digest-keyed (FrozenGraph CSR
+#: serialization) — bumped so digest-keyed entries can never collide
+#: with stale pickle/repr-keyed v1 entries on disk.
+CACHE_SCHEMA_VERSION = 2
+
+
+def _render(part: Any) -> str:
+    """Render one key part content-completely.
+
+    Objects exposing a ``cache_token`` fingerprint (``FrozenGraph``,
+    ``RSGraph``, ``HardDistribution``) are rendered by it — a frozen
+    graph contributes its SHA-256 digest, not its (size-only) ``repr``.
+    Tuples recurse so fingerprinted objects nest anywhere in the key.
+    """
+    token = getattr(part, "cache_token", None)
+    if isinstance(token, str):
+        return f"<{token}>"
+    if isinstance(part, tuple):
+        return "(" + ",".join(_render(p) for p in part) + ")"
+    return repr(part)
 
 
 def cache_key(parts: tuple) -> str:
     """The content address of a parameter tuple: a stable SHA-256 hex.
 
-    Parts are rendered with ``repr``; use only values whose ``repr`` is
-    content-complete (ints, strings, floats, tuples thereof) or objects
-    exposing an explicit fingerprint (e.g. ``HardDistribution.cache_token``).
+    Use only values whose rendering is content-complete: ints, strings,
+    floats, tuples thereof, or objects exposing a ``cache_token``
+    fingerprint (frozen graphs render as their canonical-bytes digest).
     """
-    material = repr((CACHE_SCHEMA_VERSION, parts))
+    material = f"{CACHE_SCHEMA_VERSION}:{_render(parts)}"
     return hashlib.sha256(material.encode()).hexdigest()
 
 

@@ -41,7 +41,7 @@ def _agm_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
         bits = 0
         rng = random.Random(seed)
         for trial in range(trials):
-            g = erdos_renyi(n, 0.25, rng)
+            g = erdos_renyi(n, 0.25, rng).freeze()
             params = AGMParameters.for_n(n, repetitions=repetitions)
             run = run_protocol(g, AGMSpanningForest(params), PublicCoins(seed + trial))
             bits = max(bits, run.max_bits)
@@ -62,7 +62,7 @@ def _coloring_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
         bits = 0
         rng = random.Random(seed + 1)
         for trial in range(trials):
-            g = erdos_renyi(n, 0.35, rng)
+            g = erdos_renyi(n, 0.35, rng).freeze()
             delta = g.max_degree()
             protocol = PaletteSparsificationColoring(delta, list_size=list_size)
             run = run_protocol(g, protocol, PublicCoins(derive_seed(seed, "abl-coloring", trial)))
@@ -86,7 +86,7 @@ def _filtering_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
         bits = 0
         rng = random.Random(seed + 2)
         for trial in range(trials):
-            g = erdos_renyi(n, 0.4, rng)
+            g = erdos_renyi(n, 0.4, rng).freeze()
             run = run_adaptive_protocol(
                 g,
                 FilteringMatching(num_rounds=2, cap_multiplier=cap),

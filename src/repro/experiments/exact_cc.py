@@ -33,7 +33,7 @@ def _c4_distribution():
 
     g = Graph(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
     rs = RSGraph(
-        graph=g, matchings=(((0, 1),), ((1, 2),), ((2, 3),), ((0, 3),))
+        graph=g.freeze(), matchings=(((0, 1),), ((1, 2),), ((2, 3),), ((0, 3),))
     )
     return HardDistribution(rs=rs, k=1)
 

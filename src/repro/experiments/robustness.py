@@ -55,7 +55,8 @@ def _family_graph(family: str, n: int, rng: random.Random):
 def _robustness_cell(item: tuple) -> tuple[bool, bool, bool, bool]:
     """Run all four protocols on one (family, trial) cell."""
     family, n, trial, seed = item
-    g = _family_graph(family, n, random.Random(derive_seed(seed, "rob", family, trial)))
+    # One frozen graph feeds four protocol runs and four checkers.
+    g = _family_graph(family, n, random.Random(derive_seed(seed, "rob", family, trial))).freeze()
     coins = PublicCoins(derive_seed(seed, "rob-coins", family, trial))
 
     run = run_protocol(g, AGMSpanningForest(), coins)

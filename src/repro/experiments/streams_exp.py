@@ -46,7 +46,9 @@ def run_streams(
     l0_sizes = []
     stream_lengths = []
     for trial in range(trials):
-        g = erdos_renyi(n, 0.35, rng)
+        # Frozen CSR input: reused by the stream generators, the
+        # protocol run, and both correctness checks below.
+        g = erdos_renyi(n, 0.35, rng).freeze()
         coins = PublicCoins(derive_seed(seed, "stream-coins", trial))
         params = AGMParameters.for_n(n)
         events = churn_stream(g, rng, churn_rounds=2)

@@ -45,7 +45,7 @@ def run_agm_contrast(
         ok = 0
         bits = 0
         for trial in range(trials):
-            g = erdos_renyi(n, min(1.0, 4.0 / n + 0.1), rng)
+            g = erdos_renyi(n, min(1.0, 4.0 / n + 0.1), rng).freeze()
             run = run_protocol(g, AGMSpanningForest(), PublicCoins(seed + trial))
             bits = max(bits, run.max_bits)
             ok += is_spanning_forest(g, run.output)
@@ -90,7 +90,7 @@ def run_coloring_contrast(
         bits = 0
         private_bits = 0
         for trial in range(trials):
-            g = erdos_renyi(n, 0.3, rng)
+            g = erdos_renyi(n, 0.3, rng).freeze()
             delta = g.max_degree()
             protocol = PaletteSparsificationColoring(max_degree=delta)
             run = run_protocol(g, protocol, PublicCoins(derive_seed(seed, "ub-forest", trial)))
@@ -132,7 +132,7 @@ def run_two_round_contrast(
         ok = 0
         round_bits = 0
         for trial in range(trials):
-            g = erdos_renyi(n, 0.4, rng)
+            g = erdos_renyi(n, 0.4, rng).freeze()
             run = run_adaptive_protocol(
                 g, FilteringMatching(num_rounds=rounds), PublicCoins(seed + trial)
             )
@@ -147,7 +147,7 @@ def run_two_round_contrast(
     sap_ok = 0
     sap_bits = 0
     for trial in range(trials):
-        g = erdos_renyi(n, 0.4, rng)
+        g = erdos_renyi(n, 0.4, rng).freeze()
         run = run_adaptive_protocol(
             g, SampleAndPruneMIS(cap_multiplier=1.5), PublicCoins(derive_seed(seed, "ub-mis", trial))
         )
@@ -161,7 +161,7 @@ def run_two_round_contrast(
     for phases in (1, 3, 8):
         ok = 0
         for trial in range(trials):
-            g = erdos_renyi(n, 0.4, rng)
+            g = erdos_renyi(n, 0.4, rng).freeze()
             run = run_adaptive_protocol(
                 g, LubyAdaptiveMIS(num_phases=phases), PublicCoins(derive_seed(seed, "ub-luby", phases, trial))
             )

@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from collections import deque
 
-from .graph import Edge, Graph, normalize_edge
+from .frozen import GraphLike
+from .graph import Edge, normalize_edge
 
 
-def bipartition(graph: Graph) -> tuple[set[int], set[int]] | None:
+def bipartition(graph: GraphLike) -> tuple[set[int], set[int]] | None:
     """Two-color the graph; return (left, right) or None if an odd cycle exists.
 
     Isolated vertices are assigned to the left part.
@@ -36,12 +37,12 @@ def bipartition(graph: Graph) -> tuple[set[int], set[int]] | None:
     return left, right
 
 
-def is_bipartite(graph: Graph) -> bool:
+def is_bipartite(graph: GraphLike) -> bool:
     """True iff the graph admits a two-coloring (no odd cycle)."""
     return bipartition(graph) is not None
 
 
-def hopcroft_karp(graph: Graph, left: set[int] | None = None) -> set[Edge]:
+def hopcroft_karp(graph: GraphLike, left: set[int] | None = None) -> set[Edge]:
     """Maximum matching of a bipartite graph in O(E sqrt(V)).
 
     If ``left`` is omitted, a bipartition is computed; raises ValueError on

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable, Sequence
 
+from .frozen import GraphLike
 from .graph import Edge, Graph
 
 
@@ -74,7 +75,7 @@ def random_bipartite(a: int, b: int, p: float, rng: random.Random) -> Graph:
     return g
 
 
-def disjoint_union(graphs: Sequence[Graph]) -> tuple[Graph, list[dict[int, int]]]:
+def disjoint_union(graphs: Sequence[GraphLike]) -> tuple[Graph, list[dict[int, int]]]:
     """Disjoint union, relabeling each graph into a fresh contiguous block.
 
     Returns the union graph plus, per input graph, the map from its original
@@ -95,7 +96,7 @@ def disjoint_union(graphs: Sequence[Graph]) -> tuple[Graph, list[dict[int, int]]
     return union, mappings
 
 
-def subsample_edges(graph: Graph, p: float, rng: random.Random) -> Graph:
+def subsample_edges(graph: GraphLike, p: float, rng: random.Random) -> Graph:
     """Keep each edge independently with probability p (vertices all kept).
 
     This is exactly step (3a) of the hard distribution D_MM with p = 1/2.
@@ -129,7 +130,7 @@ def two_random_components_with_bridge(
     return g, (u, v)
 
 
-def connected_components(graph: Graph) -> list[set[int]]:
+def connected_components(graph: GraphLike) -> list[set[int]]:
     """Connected components as vertex sets (iterative DFS)."""
     remaining = set(graph.vertices)
     components: list[set[int]] = []
@@ -148,7 +149,7 @@ def connected_components(graph: Graph) -> list[set[int]]:
     return components
 
 
-def spanning_forest_edges(graph: Graph) -> set[Edge]:
+def spanning_forest_edges(graph: GraphLike) -> set[Edge]:
     """A spanning forest (one DFS tree per component), as canonical edges."""
     forest: set[Edge] = set()
     visited: set[int] = set()
@@ -167,7 +168,7 @@ def spanning_forest_edges(graph: Graph) -> set[Edge]:
     return forest
 
 
-def is_spanning_forest(graph: Graph, edges: Iterable[Edge]) -> bool:
+def is_spanning_forest(graph: GraphLike, edges: Iterable[Edge]) -> bool:
     """True iff the edges are a cycle-free subgraph connecting each
     component of the host graph (i.e., a spanning forest)."""
     edge_list = list(edges)

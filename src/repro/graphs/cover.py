@@ -12,23 +12,24 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from .bipartite import bipartition, hopcroft_karp
-from .graph import Edge, Graph
+from .frozen import GraphLike
+from .graph import Edge
 from .matching import greedy_maximal_matching, matched_vertices
 
 
-def is_vertex_cover(graph: Graph, vertices: Iterable[int]) -> bool:
+def is_vertex_cover(graph: GraphLike, vertices: Iterable[int]) -> bool:
     """True iff every edge has at least one endpoint in the set."""
     chosen = set(vertices)
     return all(u in chosen or v in chosen for u, v in graph.edges())
 
 
-def matching_cover(graph: Graph) -> set[int]:
+def matching_cover(graph: GraphLike) -> set[int]:
     """The classic 2-approximate vertex cover: both endpoints of any
     maximal matching."""
     return matched_vertices(greedy_maximal_matching(graph))
 
 
-def konig_cover(graph: Graph) -> set[int]:
+def konig_cover(graph: GraphLike) -> set[int]:
     """A minimum vertex cover of a bipartite graph via König's theorem.
 
     Runs Hopcroft-Karp, then alternating reachability from the

@@ -8,10 +8,10 @@ min-degree peeling; the ordering it produces also gives the classic
 
 from __future__ import annotations
 
-from .graph import Graph
+from .frozen import GraphLike
 
 
-def degeneracy_ordering(graph: Graph) -> tuple[list[int], int]:
+def degeneracy_ordering(graph: GraphLike) -> tuple[list[int], int]:
     """Min-degree peeling: returns (elimination order, degeneracy).
 
     The degeneracy is the largest degree seen at removal time; the
@@ -35,12 +35,12 @@ def degeneracy_ordering(graph: Graph) -> tuple[list[int], int]:
     return order, degeneracy
 
 
-def degeneracy(graph: Graph) -> int:
+def degeneracy(graph: GraphLike) -> int:
     """The degeneracy (coloring number minus one) of the graph."""
     return degeneracy_ordering(graph)[1]
 
 
-def degeneracy_coloring(graph: Graph) -> dict[int, int]:
+def degeneracy_coloring(graph: GraphLike) -> dict[int, int]:
     """Greedy coloring along the reversed peeling order: uses at most
     degeneracy + 1 colors (tested as a cross-check of the ordering)."""
     order, _ = degeneracy_ordering(graph)

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from .graph import Graph
+from .frozen import GraphLike
 
 
-def subgraph_density(graph: Graph, vertices: Iterable[int]) -> float:
+def subgraph_density(graph: GraphLike, vertices: Iterable[int]) -> float:
     """|E(S)| / |S| (0 for the empty set)."""
     chosen = set(vertices)
     if not chosen:
@@ -24,7 +24,7 @@ def subgraph_density(graph: Graph, vertices: Iterable[int]) -> float:
     return edges / len(chosen)
 
 
-def charikar_peeling(graph: Graph) -> tuple[set[int], float]:
+def charikar_peeling(graph: GraphLike) -> tuple[set[int], float]:
     """Greedy peeling: returns (best vertex set, its density).
 
     Removes a minimum-degree vertex at each step and remembers the
@@ -57,7 +57,7 @@ def charikar_peeling(graph: Graph) -> tuple[set[int], float]:
     return best_set, best_density
 
 
-def exact_densest_subgraph(graph: Graph) -> tuple[set[int], float]:
+def exact_densest_subgraph(graph: GraphLike) -> tuple[set[int], float]:
     """Exact maximum-density subgraph by exhaustive search.
 
     Exponential; micro graphs only (tests and validation).

@@ -29,8 +29,10 @@ def normalize_edge(u: int, v: int) -> Edge:
 class Graph:
     """A simple undirected graph over integer-labelled vertices.
 
-    Mutable during construction; most pipeline stages treat instances as
-    frozen once built.  Equality compares vertex and edge sets.
+    This is the *builder*: mutable during construction, then typically
+    handed to the pipeline as an immutable CSR graph via :meth:`freeze`
+    (see :class:`repro.graphs.frozen.FrozenGraph`).  Equality compares
+    vertex and edge sets; builders are unhashable — freeze first.
     """
 
     __slots__ = ("_adj", "_adjacency_view")
@@ -64,12 +66,17 @@ class Graph:
         self._adjacency_view = None
 
     def remove_edge(self, u: int, v: int) -> None:
-        """Remove edge {u, v}; raises KeyError if absent."""
-        try:
-            self._adj[u].remove(v)
-            self._adj[v].remove(u)
-        except KeyError:
-            raise KeyError(f"edge ({u}, {v}) not in graph") from None
+        """Remove edge {u, v}; raises KeyError if absent.
+
+        Membership is checked on *both* endpoints before either side is
+        mutated, so a failed removal never leaves the adjacency
+        asymmetric (the old remove-then-remove sequence could drop one
+        direction and then raise).
+        """
+        if v not in self._adj.get(u, ()) or u not in self._adj.get(v, ()):
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
         self._adjacency_view = None
 
     # ------------------------------------------------------------------
@@ -148,6 +155,20 @@ class Graph:
     # ------------------------------------------------------------------
     # Combination / transformation
     # ------------------------------------------------------------------
+    def freeze(self):
+        """Freeze into an immutable CSR :class:`FrozenGraph`.
+
+        The frozen graph is the type the pipeline consumes: O(1) degree,
+        deterministic sorted iteration, precomputed hash, and a SHA-256
+        content digest for the engine's construction cache.  The builder
+        is left untouched and may keep mutating.
+        """
+        from .frozen import FrozenGraph
+
+        # The adjacency sets are read, never kept: freezing is zero-copy
+        # on the builder side.
+        return FrozenGraph._from_sorted_lists(self._adj)
+
     def copy(self) -> "Graph":
         g = Graph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
@@ -197,8 +218,14 @@ class Graph:
             return NotImplemented
         return self.vertices == other.vertices and self.edge_set() == other.edge_set()
 
-    def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
-        return hash((self.vertices, self.edge_set()))
+    def __hash__(self) -> int:
+        # A mutable object must not be hashable: a builder used as a dict
+        # key would silently corrupt the table on the next add_edge, and
+        # the old implementation cost O(n + m) per call on top of that.
+        raise TypeError(
+            "Graph is a mutable builder and unhashable; call .freeze() and "
+            "hash the FrozenGraph (precomputed, O(1))"
+        )
 
     def __repr__(self) -> str:
         return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"

@@ -10,10 +10,10 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable
 
-from .graph import Graph
+from .frozen import GraphLike
 
 
-def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+def is_independent_set(graph: GraphLike, vertices: Iterable[int]) -> bool:
     """True iff the vertices all exist and no graph edge joins two of them."""
     chosen = set(vertices)
     if not chosen <= graph.vertices:
@@ -21,7 +21,7 @@ def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
     return graph.is_independent_set(chosen)
 
 
-def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+def is_maximal_independent_set(graph: GraphLike, vertices: Iterable[int]) -> bool:
     """True iff the set is independent and dominating (no vertex addable)."""
     chosen = set(vertices)
     if not is_independent_set(graph, chosen):
@@ -32,7 +32,7 @@ def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
     return True
 
 
-def greedy_mis(graph: Graph, order: Iterable[int] | None = None) -> set[int]:
+def greedy_mis(graph: GraphLike, order: Iterable[int] | None = None) -> set[int]:
     """Greedy MIS scanning vertices in the given order (sorted by default)."""
     if order is None:
         order = sorted(graph.vertices)
@@ -46,14 +46,14 @@ def greedy_mis(graph: Graph, order: Iterable[int] | None = None) -> set[int]:
     return chosen
 
 
-def random_mis(graph: Graph, rng: random.Random) -> set[int]:
+def random_mis(graph: GraphLike, rng: random.Random) -> set[int]:
     """A maximal independent set from a uniformly random vertex scan order."""
     order = sorted(graph.vertices)
     rng.shuffle(order)
     return greedy_mis(graph, order)
 
 
-def luby_mis(graph: Graph, rng: random.Random) -> set[int]:
+def luby_mis(graph: GraphLike, rng: random.Random) -> set[int]:
     """Luby's classic randomized MIS (round-synchronous simulation).
 
     Each round, every live vertex picks a random priority; local minima
@@ -81,7 +81,7 @@ def luby_mis(graph: Graph, rng: random.Random) -> set[int]:
     return chosen
 
 
-def maximum_independent_set(graph: Graph) -> set[int]:
+def maximum_independent_set(graph: GraphLike) -> set[int]:
     """Exact maximum independent set by branch and bound.
 
     Branches on a highest-degree vertex (in / out), pruning with a simple
@@ -107,7 +107,7 @@ def maximum_independent_set(graph: Graph) -> set[int]:
     return best
 
 
-def all_maximal_independent_sets(graph: Graph) -> list[set[int]]:
+def all_maximal_independent_sets(graph: GraphLike) -> list[set[int]]:
     """Enumerate every maximal independent set of a (small) graph.
 
     Simple branching on inclusion/exclusion with a maximality filter.

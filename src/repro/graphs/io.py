@@ -11,13 +11,14 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .frozen import GraphLike
 from .graph import Graph
 
 FORMAT_VERSION = 1
 
 
-def graph_to_dict(graph: Graph) -> dict:
-    """A JSON-compatible description of the graph."""
+def graph_to_dict(graph: GraphLike) -> dict:
+    """A JSON-compatible description of the graph (builder or frozen)."""
     return {
         "format": FORMAT_VERSION,
         "vertices": sorted(graph.vertices),
@@ -25,8 +26,12 @@ def graph_to_dict(graph: Graph) -> dict:
     }
 
 
-def graph_from_dict(data: dict) -> Graph:
-    """Inverse of :func:`graph_to_dict`; validates the payload."""
+def graph_from_dict(data: dict, frozen: bool = False) -> GraphLike:
+    """Inverse of :func:`graph_to_dict`; validates the payload.
+
+    Returns a mutable builder by default; pass ``frozen=True`` to get
+    the immutable CSR form the pipeline consumes.
+    """
     if data.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported graph format {data.get('format')!r}")
     vertices = data.get("vertices")
@@ -41,14 +46,14 @@ def graph_from_dict(data: dict) -> Graph:
         if u not in graph or v not in graph:
             raise ValueError(f"edge {pair!r} references unknown vertex")
         graph.add_edge(u, v)
-    return graph
+    return graph.freeze() if frozen else graph
 
 
-def save_graph(graph: Graph, path: str | Path) -> None:
+def save_graph(graph: GraphLike, path: str | Path) -> None:
     """Write the graph to ``path`` as indented JSON."""
     Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
 
 
-def load_graph(path: str | Path) -> Graph:
+def load_graph(path: str | Path, frozen: bool = False) -> GraphLike:
     """Read a graph previously written by :func:`save_graph`."""
-    return graph_from_dict(json.loads(Path(path).read_text()))
+    return graph_from_dict(json.loads(Path(path).read_text()), frozen=frozen)

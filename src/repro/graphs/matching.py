@@ -13,7 +13,8 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable
 
-from .graph import Edge, Graph, normalize_edge
+from .frozen import GraphLike
+from .graph import Edge, normalize_edge
 
 
 def is_matching(edges: Iterable[Edge]) -> bool:
@@ -27,7 +28,7 @@ def is_matching(edges: Iterable[Edge]) -> bool:
     return True
 
 
-def is_valid_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+def is_valid_matching(graph: GraphLike, edges: Iterable[Edge]) -> bool:
     """True iff the edges form a matching and all of them exist in the graph."""
     edge_list = [normalize_edge(u, v) for u, v in edges]
     return is_matching(edge_list) and all(graph.has_edge(u, v) for u, v in edge_list)
@@ -42,7 +43,7 @@ def matched_vertices(edges: Iterable[Edge]) -> set[int]:
     return out
 
 
-def is_maximal_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+def is_maximal_matching(graph: GraphLike, edges: Iterable[Edge]) -> bool:
     """True iff the edges are a valid matching of the graph with no
     augmenting single edge: every graph edge touches a matched vertex."""
     edge_list = list(edges)
@@ -53,7 +54,7 @@ def is_maximal_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
 
 
 def greedy_maximal_matching(
-    graph: Graph,
+    graph: GraphLike,
     order: Iterable[Edge] | None = None,
 ) -> set[Edge]:
     """Greedy maximal matching scanning edges in the given order.
@@ -75,14 +76,14 @@ def greedy_maximal_matching(
     return matching
 
 
-def random_maximal_matching(graph: Graph, rng: random.Random) -> set[Edge]:
+def random_maximal_matching(graph: GraphLike, rng: random.Random) -> set[Edge]:
     """A maximal matching from a uniformly random edge scan order."""
     order = sorted(graph.edges())
     rng.shuffle(order)
     return greedy_maximal_matching(graph, order)
 
 
-def maximum_matching(graph: Graph) -> set[Edge]:
+def maximum_matching(graph: GraphLike) -> set[Edge]:
     """Exact maximum-cardinality matching via augmenting paths (blossom).
 
     Implements Edmonds' blossom algorithm with explicit blossom
@@ -185,7 +186,7 @@ def maximum_matching(graph: Graph) -> set[Edge]:
     return result
 
 
-def all_maximal_matchings(graph: Graph) -> list[set[Edge]]:
+def all_maximal_matchings(graph: GraphLike) -> list[set[Edge]]:
     """Enumerate every maximal matching of a (small) graph.
 
     Used by the exhaustive validators of Claim 3.1 and Lemma 4.1 on micro

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .graph import Graph
+from .frozen import GraphLike
 
 
-def degree_histogram(graph: Graph) -> dict[int, int]:
+def degree_histogram(graph: GraphLike) -> dict[int, int]:
     """Map degree -> number of vertices with that degree."""
     hist: dict[int, int] = {}
     for v in graph.vertices:
@@ -16,7 +16,7 @@ def degree_histogram(graph: Graph) -> dict[int, int]:
     return hist
 
 
-def mean_degree(graph: Graph) -> float:
+def mean_degree(graph: GraphLike) -> float:
     """2|E| / |V| (0 for the empty graph)."""
     n = graph.num_vertices()
     return 2.0 * graph.num_edges() / n if n else 0.0
@@ -39,7 +39,7 @@ class GraphSummary:
         )
 
 
-def summarize(graph: Graph) -> GraphSummary:
+def summarize(graph: GraphLike) -> GraphSummary:
     """Compute the structural summary of a graph."""
     degrees = [graph.degree(v) for v in graph.vertices]
     return GraphSummary(

@@ -8,10 +8,10 @@ routines are the baselines the sketching estimator is validated against.
 
 from __future__ import annotations
 
-from .graph import Graph
+from .frozen import GraphLike
 
 
-def count_triangles(graph: Graph) -> int:
+def count_triangles(graph: GraphLike) -> int:
     """Exact triangle count via neighborhood intersection (O(sum deg^2))."""
     count = 0
     for u, v in graph.edges():
@@ -19,14 +19,14 @@ def count_triangles(graph: Graph) -> int:
     return count // 3
 
 
-def triangles_through_edge(graph: Graph, u: int, v: int) -> int:
+def triangles_through_edge(graph: GraphLike, u: int, v: int) -> int:
     """Number of triangles containing the edge {u, v}."""
     if not graph.has_edge(u, v):
         return 0
     return len(graph.neighbors(u) & graph.neighbors(v))
 
 
-def is_triangle_free(graph: Graph) -> bool:
+def is_triangle_free(graph: GraphLike) -> bool:
     """True iff the graph contains no triangle."""
     for u, v in graph.edges():
         if graph.neighbors(u) & graph.neighbors(v):
@@ -34,7 +34,7 @@ def is_triangle_free(graph: Graph) -> bool:
     return True
 
 
-def list_triangles(graph: Graph) -> list[tuple[int, int, int]]:
+def list_triangles(graph: GraphLike) -> list[tuple[int, int, int]]:
     """All triangles as sorted vertex triples (for micro graphs)."""
     out = []
     for u, v in graph.edges():

@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass
 from functools import cached_property
 
-from ..graphs import Edge, Graph, normalize_edge
+from ..graphs import Edge, FrozenGraph, normalize_edge
 from .params import HardDistribution
 
 #: indicators[i][j] is an r-bit mask: bit e set iff edge e of matching j
@@ -127,13 +127,18 @@ class DMMInstance:
         return edges
 
     @cached_property
-    def graph(self) -> Graph:
-        """G: the union of the k relabeled subsampled copies (step 5)."""
-        g = Graph(vertices=range(self.hard.n))
+    def graph(self) -> FrozenGraph:
+        """G: the union of the k relabeled subsampled copies (step 5).
+
+        Frozen CSR form: the instance is immutable, so the graph is
+        built once directly from the edge list — deterministic edge
+        order, digest-addressed, and cheap per-player neighbor slices
+        for ``views_of``.
+        """
+        edges: list[Edge] = []
         for i in range(self.hard.k):
-            for u, v in self.copy_edges(i):
-                g.add_edge(u, v)
-        return g
+            edges.extend(self.copy_edges(i))
+        return FrozenGraph.from_edges(range(self.hard.n), edges)
 
     def special_slot_pairs(self, i: int) -> list[Edge]:
         """M^RS_{i,j*} of Section 4: the labeled pairs of the special

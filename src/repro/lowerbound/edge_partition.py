@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Any
 
-from ..graphs import Edge, Graph, greedy_maximal_matching, normalize_edge
+from ..graphs import Edge, Graph, GraphLike, greedy_maximal_matching, normalize_edge
 from ..model import (
     BitWriter,
     Message,
@@ -46,7 +46,7 @@ class EdgePartitionView:
 
 
 def partition_edges(
-    graph: Graph, num_players: int, rng: random.Random, n: int | None = None
+    graph: GraphLike, num_players: int, rng: random.Random, n: int | None = None
 ) -> list[EdgePartitionView]:
     """Assign each edge to a uniformly random player ([14]'s setup)."""
     if num_players < 1:
@@ -123,7 +123,7 @@ class EdgePartitionRun:
 
 
 def run_edge_partition_protocol(
-    graph: Graph,
+    graph: GraphLike,
     protocol: EdgePartitionProtocol,
     num_players: int,
     coins: PublicCoins,
@@ -146,7 +146,7 @@ def run_edge_partition_protocol(
 
 
 def reported_edges_expected(
-    graph: Graph, budget: int, num_players: int
+    graph: GraphLike, budget: int, num_players: int
 ) -> float:
     """Expected distinct edges reported in the edge-partition model —
     at most num_players * budget, vs 2x chances per edge in the

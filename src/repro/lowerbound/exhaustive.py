@@ -238,5 +238,5 @@ def shared_center_distribution() -> HardDistribution:
     from ..rsgraphs import RSGraph
 
     graph = Graph(vertices=range(3), edges=[(0, 1), (0, 2)])
-    rs = RSGraph(graph=graph, matchings=(((0, 1),), ((0, 2),)))
+    rs = RSGraph(graph=graph.freeze(), matchings=(((0, 1),), ((0, 2),)))
     return HardDistribution(rs=rs, k=1)

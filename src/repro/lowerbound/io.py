@@ -33,7 +33,7 @@ def rs_graph_from_dict(data: dict) -> RSGraph:
     """Inverse of :func:`rs_graph_to_dict`; re-verifies the RS property."""
     if data.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported RS graph format {data.get('format')!r}")
-    graph = graph_from_dict(data["graph"])
+    graph = graph_from_dict(data["graph"], frozen=True)
     matchings = tuple(
         tuple(tuple(edge) for edge in matching) for matching in data["matchings"]
     )

@@ -79,18 +79,15 @@ class HardDistribution:
     def cache_token(self) -> str:
         """A content address of this distribution, for cache keys.
 
-        Hashes the full RS structure (edge set and matching partition)
-        plus k — the default dataclass ``repr`` is not content-complete
-        (``Graph`` prints only its size), so cache keys must not use it.
+        Keys on the RS graph's SHA-256 digest (its canonical CSR byte
+        serialization) plus the matching partition and k — the default
+        dataclass ``repr`` is not content-complete (graphs print only
+        their size), so cache keys must not use it.  The digest replaces
+        the old sorted-vertex/edge-tuple rendering: O(1) to read off a
+        frozen graph instead of O(n + m log m) per key.
         """
         return cache_key(
-            (
-                "hard-distribution",
-                self.k,
-                tuple(sorted(self.rs.graph.vertices)),
-                tuple(sorted(self.rs.graph.edges())),
-                self.rs.matchings,
-            )
+            ("hard-distribution", self.k, self.rs.cache_token)
         )
 
 
@@ -151,7 +148,7 @@ def micro_distribution(r: int = 1, t: int = 2, k: int = 2) -> HardDistribution:
                 graph.add_edge(u, u + 1)
                 edges.append((u, u + 1))
             matchings.append(tuple(edges))
-        rs = RSGraph(graph=graph, matchings=tuple(matchings))
+        rs = RSGraph(graph=graph.freeze(), matchings=tuple(matchings))
         return HardDistribution(rs=rs, k=k)
 
     return construction_cache().get_or_build(("micro-distribution", r, t, k), build)

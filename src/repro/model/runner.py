@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..engine import ExecutionEngine, TrialPlan, resolve_engine
-from ..graphs import Graph
+from ..graphs import GraphLike
 from .coins import PublicCoins
 from .messages import Message, assert_packed_accounting
 from .protocol import AdaptiveProtocol, SketchProtocol
@@ -66,7 +66,7 @@ class ProtocolRun:
 
 
 def run_protocol(
-    graph: Graph,
+    graph: GraphLike,
     protocol: SketchProtocol,
     coins: PublicCoins,
     n: int | None = None,
@@ -111,7 +111,7 @@ class AdaptiveRun:
 
 
 def run_adaptive_protocol(
-    graph: Graph,
+    graph: GraphLike,
     protocol: AdaptiveProtocol,
     coins: PublicCoins,
     n: int | None = None,

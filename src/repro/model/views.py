@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..graphs import Edge, Graph, normalize_edge
+from ..graphs import Edge, GraphLike, normalize_edge
 
 
 @dataclass(frozen=True)
@@ -32,25 +32,31 @@ class VertexView:
         return sorted(normalize_edge(self.vertex, u) for u in self.neighbors)
 
 
-def views_of(graph: Graph, n: int | None = None) -> dict[int, VertexView]:
+def views_of(graph: GraphLike, n: int | None = None) -> dict[int, VertexView]:
     """Build every player's view of the graph.
 
     ``n`` defaults to the number of vertices; pass it explicitly when
     vertex labels are not 0..n-1 contiguous (the hard distribution labels
     vertices by an arbitrary permutation of [n]).
+
+    Accepts either representation.  On a ``FrozenGraph`` — the type the
+    hard-instance pipeline hands in — ``adjacency()`` materializes each
+    neighborhood from a CSR slice exactly once for the graph's lifetime
+    and iterates vertices in ascending order, so repeated view builds
+    over the same instance are allocation-free and deterministic.  On a
+    mutable builder the cached view is invalidated by mutation instead.
     """
     if n is None:
         n = graph.num_vertices()
-    # The cached adjacency view shares one frozenset per vertex across
-    # repeated calls — per-player neighbor re-freezing dominates view
-    # construction on large instances otherwise.
     return {
         v: VertexView(n=n, vertex=v, neighbors=neighbors)
         for v, neighbors in graph.adjacency().items()
     }
 
 
-def restricted_view(graph: Graph, vertex: int, visible: set[int], n: int) -> VertexView:
+def restricted_view(
+    graph: GraphLike, vertex: int, visible: set[int], n: int
+) -> VertexView:
     """A view of ``vertex`` that only includes neighbors inside ``visible``.
 
     Used by the public/unique player model of Section 3.1, where the

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from ..arithmetic import best_ap_free_set, is_three_ap_free
-from ..graphs import Edge, Graph, matched_vertices
+from ..graphs import Edge, FrozenGraph, Graph, matched_vertices
 
 
 @dataclass(frozen=True)
@@ -34,9 +34,14 @@ class RSGraph:
     ``matchings[j]`` is the j-th induced matching (canonical edge tuples,
     sorted).  The class is construction-agnostic: both the bipartite
     sum-class and the tripartite RS78 builders return it.
+
+    ``graph`` is the immutable CSR form (:class:`FrozenGraph`); every
+    builder in this package freezes before wrapping, so RS graphs are
+    hashable, digest-addressed, and safe to share across the engine's
+    construction cache.
     """
 
-    graph: Graph
+    graph: FrozenGraph
     matchings: tuple[tuple[Edge, ...], ...]
 
     @property
@@ -69,6 +74,18 @@ class RSGraph:
         """The 2r endpoints of matching j (the V* of the hard distribution
         when j = j*)."""
         return matched_vertices(self.matchings[j])
+
+    @property
+    def cache_token(self) -> str:
+        """Content address: the graph digest plus the matching partition
+        (two RS graphs can share a graph but differ in partition)."""
+        graph = self.graph
+        fingerprint = (
+            graph.cache_token
+            if isinstance(graph, FrozenGraph)
+            else (tuple(sorted(graph.vertices)), tuple(sorted(graph.edges())))
+        )
+        return f"rs-graph:{fingerprint}:{self.matchings!r}"
 
 
 def sum_class_rs_graph(m: int, ap_free: Sequence[int] | None = None) -> RSGraph:
@@ -118,7 +135,7 @@ def _sum_class_rs_graph_uncached(
     matchings = tuple(
         tuple(sorted(classes[s])) for s in sorted(classes)
     )
-    return RSGraph(graph=graph, matchings=matchings)
+    return RSGraph(graph=graph.freeze(), matchings=matchings)
 
 
 def uniformize(rs: RSGraph, r: int) -> RSGraph:
@@ -137,7 +154,7 @@ def uniformize(rs: RSGraph, r: int) -> RSGraph:
     for matching in kept:
         for u, v in matching:
             graph.add_edge(u, v)
-    return RSGraph(graph=graph, matchings=tuple(kept))
+    return RSGraph(graph=graph.freeze(), matchings=tuple(kept))
 
 
 def best_uniform(rs: RSGraph, min_t: int = 1) -> RSGraph:

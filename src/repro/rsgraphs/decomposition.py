@@ -15,12 +15,12 @@ quality measures, used two ways:
 
 from __future__ import annotations
 
-from ..graphs import Edge, Graph, matched_vertices, normalize_edge
+from ..graphs import Edge, GraphLike, matched_vertices, normalize_edge
 from .construction import RSGraph
 from .verify import is_induced_matching
 
 
-def can_extend_induced(graph: Graph, matching: set[Edge], edge: Edge) -> bool:
+def can_extend_induced(graph: GraphLike, matching: set[Edge], edge: Edge) -> bool:
     """Can ``edge`` join ``matching`` keeping it an induced matching?
 
     Requires: disjoint endpoints, and no graph edge between the new
@@ -37,7 +37,7 @@ def can_extend_induced(graph: Graph, matching: set[Edge], edge: Edge) -> bool:
     return True
 
 
-def greedy_induced_decomposition(graph: Graph) -> list[set[Edge]]:
+def greedy_induced_decomposition(graph: GraphLike) -> list[set[Edge]]:
     """Partition the edge set into induced matchings, first-fit greedy.
 
     Scans edges in canonical order, placing each into the first class it
@@ -69,8 +69,9 @@ def decomposition_profile(classes: list[set[Edge]]) -> dict:
     }
 
 
-def as_rs_graph(graph: Graph, classes: list[set[Edge]]) -> RSGraph:
+def as_rs_graph(graph: GraphLike, classes: list[set[Edge]]) -> RSGraph:
     """Package a decomposition as an RSGraph (validated by the caller's
-    tests through verify_rs_graph)."""
+    tests through verify_rs_graph).  Builders are frozen so the result
+    honors RSGraph's frozen-graph contract."""
     matchings = tuple(tuple(sorted(c)) for c in classes)
-    return RSGraph(graph=graph, matchings=matchings)
+    return RSGraph(graph=graph.freeze(), matchings=matchings)

@@ -79,4 +79,4 @@ def tripartite_rs_graph(m: int, ap_free: Sequence[int] | None = None) -> RSGraph
     for family in (yz_by_x, xz_by_y, xy_by_z):
         for key in sorted(family):
             matchings.append(tuple(sorted(family[key])))
-    return RSGraph(graph=graph, matchings=tuple(matchings))
+    return RSGraph(graph=graph.freeze(), matchings=tuple(matchings))

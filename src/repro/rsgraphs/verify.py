@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from ..graphs import Edge, Graph, is_matching, matched_vertices, normalize_edge
+from ..graphs import Edge, GraphLike, is_matching, matched_vertices, normalize_edge
 
 
-def is_induced_matching(graph: Graph, matching: Iterable[Edge]) -> bool:
+def is_induced_matching(graph: GraphLike, matching: Iterable[Edge]) -> bool:
     """True iff the edges form a matching of the graph and the subgraph
     induced on their endpoints has no additional edge."""
     edges = {normalize_edge(u, v) for u, v in matching}
@@ -28,7 +28,7 @@ def is_induced_matching(graph: Graph, matching: Iterable[Edge]) -> bool:
 
 
 def verify_edge_partition(
-    graph: Graph, matchings: Sequence[Iterable[Edge]]
+    graph: GraphLike, matchings: Sequence[Iterable[Edge]]
 ) -> bool:
     """True iff the matchings' edge sets are disjoint and cover the graph."""
     seen: set[Edge] = set()
@@ -44,7 +44,7 @@ def verify_edge_partition(
 
 
 def verify_rs_graph(
-    graph: Graph,
+    graph: GraphLike,
     matchings: Sequence[Iterable[Edge]],
     r: int | None = None,
 ) -> bool:

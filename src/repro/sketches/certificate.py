@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph
+from ..graphs import Edge, Graph, GraphLike
 from ..graphs.builders import connected_components
 from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
 from .agm import AGMParameters, _UnionFind
@@ -190,7 +190,7 @@ def certificate_min_cut(certificate: set[Edge], vertices: set[int], k: int) -> i
     return _exact_min_cut_capped(graph, k)
 
 
-def _exact_min_cut_capped(graph: Graph, cap: int) -> int:
+def _exact_min_cut_capped(graph: GraphLike, cap: int) -> int:
     """Exact global min cut via Stoer-Wagner, capped at ``cap``."""
     vertices = list(graph.vertices)
     if len(vertices) < 2:

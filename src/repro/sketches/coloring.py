@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Graph
+from ..graphs import Graph, GraphLike
 from ..model import (
     BitWriter,
     Message,
@@ -126,7 +126,7 @@ class PaletteSparsificationColoring(SketchProtocol):
         return ColoringResult(colors=colors, failed=frozenset(failed))
 
 
-def is_proper_coloring(graph: Graph, colors: dict[int, int], num_colors: int) -> bool:
+def is_proper_coloring(graph: GraphLike, colors: dict[int, int], num_colors: int) -> bool:
     """True iff every vertex is colored in [0, num_colors) and no edge is
     monochromatic — the referee-output validity check for experiment UB-COL."""
     if set(colors) != set(graph.vertices):

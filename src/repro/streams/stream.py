@@ -17,7 +17,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from enum import Enum
 
-from ..graphs import Edge, Graph, normalize_edge
+from ..graphs import Edge, Graph, GraphLike, normalize_edge
 
 
 class Op(Enum):
@@ -43,7 +43,7 @@ def insertion_stream(edges: Iterable[Edge]) -> list[StreamEvent]:
     return [StreamEvent(Op.INSERT, e) for e in edges]
 
 
-def random_order_stream(graph: Graph, rng: random.Random) -> list[StreamEvent]:
+def random_order_stream(graph: GraphLike, rng: random.Random) -> list[StreamEvent]:
     """Insertion-only stream of the graph's edges in uniform random order."""
     edges = sorted(graph.edges())
     rng.shuffle(edges)
@@ -51,7 +51,7 @@ def random_order_stream(graph: Graph, rng: random.Random) -> list[StreamEvent]:
 
 
 def churn_stream(
-    graph: Graph, rng: random.Random, churn_rounds: int = 1
+    graph: GraphLike, rng: random.Random, churn_rounds: int = 1
 ) -> list[StreamEvent]:
     """A dynamic stream whose final graph equals ``graph``.
 

@@ -142,7 +142,7 @@ def test_c4_one_bit_exhaustive_slow():
     from repro.rsgraphs import RSGraph
 
     g = Graph(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
-    rs = RSGraph(graph=g, matchings=(((0, 1),), ((1, 2),), ((2, 3),), ((0, 3),)))
+    rs = RSGraph(graph=g.freeze(), matchings=(((0, 1),), ((1, 2),), ((2, 3),), ((0, 3),)))
     hard = HardDistribution(rs=rs, k=1)
     result = optimal_success(hard, 1, max_strategies=2_000_000)
     assert result.optimal_success == pytest.approx(1.0)
