@@ -1,0 +1,229 @@
+"""Infotheory micro-bench: columnar TableDistribution vs the dict oracle.
+
+Times the probability layer's hot paths — marginalize, entropy, mutual
+information, and the full Lemma 3.3–3.5 check ``ExactAnalysis`` runs per
+protocol — under both kernels on the largest seed micro-instance
+(r=1, t=3, k=2; 192 transcript rows).
+
+Two entry points:
+
+* ``pytest benchmarks/bench_infotheory.py --benchmark-only`` — the usual
+  pytest-benchmark harness (part of ``make bench``);
+* ``python benchmarks/bench_infotheory.py [--out BENCH_infotheory.json]``
+  — the CI smoke job: runs every section with ``time.perf_counter``,
+  prints a table, and emits a JSON artifact recording the speedups.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.infotheory import JointDistribution, TableDistribution
+from repro.lowerbound import analyze_protocol, micro_distribution
+from repro.lowerbound.transcripts import ExactAnalysis
+from repro.model import PublicCoins
+from repro.protocols import SampledEdgesMatching
+
+#: The largest seed micro-instance the lemma experiments enumerate.
+_HARD = micro_distribution(r=1, t=3, k=2)
+_PROTOCOL = SampledEdgesMatching(1)
+_COINS = PublicCoins(seed=2020)
+
+#: Protocol enumeration happens once — it is kernel-independent; what
+#: the sections compare is the probability-kernel work downstream.
+_TABLE = analyze_protocol(_HARD, _PROTOCOL, _COINS)
+_REFERENCE = analyze_protocol(_HARD, _PROTOCOL, _COINS, kernel="reference")
+
+_T_DIST: TableDistribution = _TABLE.dist
+_R_DIST: JointDistribution = _REFERENCE.dist
+_MARGINAL_VARS = ["J", "PiP"]
+_ENTROPY_VARS = [f"PiU_{i}" for i in range(_HARD.k)]
+
+
+# ----------------------------------------------------------------------
+# Workloads (shared between pytest-benchmark and the smoke runner)
+# ----------------------------------------------------------------------
+
+
+def _marginalize_table():
+    return _T_DIST.marginal(_MARGINAL_VARS)
+
+
+def _marginalize_reference():
+    return _R_DIST.marginal(_MARGINAL_VARS)
+
+
+def _entropy_table():
+    return _T_DIST.entropy(_ENTROPY_VARS, given=["J"])
+
+
+def _entropy_reference():
+    return _R_DIST.entropy(_ENTROPY_VARS, given=["J"])
+
+
+def _mi_table():
+    return _T_DIST.mutual_information(["J"], ["PiP"], given=["M_0_0"])
+
+
+def _mi_reference():
+    return _R_DIST.mutual_information(["J"], ["PiP"], given=["M_0_0"])
+
+
+def _lemma_check(analysis) -> bool:
+    """The full Lemma 3.3–3.5 evaluation on a prebuilt distribution.
+
+    A fresh ``ExactAnalysis`` per call defeats the ``cached_property``
+    memoization so every entropy / MI / conditional is recomputed — this
+    is the workload the ``--exact`` lemma experiments pay per protocol.
+    """
+    fresh = ExactAnalysis(
+        hard=analysis.hard,
+        dist=analysis.dist,
+        expected_mu=analysis.expected_mu,
+        error_probability=analysis.error_probability,
+        worst_case_bits=analysis.worst_case_bits,
+    )
+    fresh.information_revealed
+    return (
+        fresh.lemma33_holds()
+        and fresh.lemma34_holds()
+        and fresh.lemma35_all_hold()
+    )
+
+
+def _lemma_check_table() -> bool:
+    return _lemma_check(_TABLE)
+
+
+def _lemma_check_reference() -> bool:
+    return _lemma_check(_REFERENCE)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_bench_marginalize_table(benchmark):
+    m = benchmark(_marginalize_table)
+    assert m.variables == tuple(_MARGINAL_VARS)
+
+
+def test_bench_marginalize_reference_baseline(benchmark):
+    m = benchmark(_marginalize_reference)
+    assert m.variables == tuple(_MARGINAL_VARS)
+
+
+def test_bench_entropy_table(benchmark):
+    h = benchmark(_entropy_table)
+    assert h >= 0.0
+
+
+def test_bench_entropy_reference_baseline(benchmark):
+    h = benchmark(_entropy_reference)
+    assert h >= 0.0
+
+
+def test_bench_mutual_information_table(benchmark):
+    mi = benchmark(_mi_table)
+    assert mi >= -1e-9
+
+
+def test_bench_mutual_information_reference_baseline(benchmark):
+    mi = benchmark(_mi_reference)
+    assert mi >= -1e-9
+
+
+def test_bench_lemma_check_table(benchmark):
+    assert benchmark(_lemma_check_table)
+
+
+def test_bench_lemma_check_reference_baseline(benchmark):
+    assert benchmark(_lemma_check_reference)
+
+
+# ----------------------------------------------------------------------
+# Smoke-mode runner (CI artifact)
+# ----------------------------------------------------------------------
+
+
+def _time_ops(fn, min_seconds: float = 0.2) -> float:
+    """Run ``fn`` repeatedly for >= min_seconds; return seconds/call."""
+    fn()  # warm up
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return elapsed / calls
+
+
+def run_smoke() -> dict:
+    # Correctness cross-checks before timing anything.
+    assert _T_DIST.pmf.keys() == _R_DIST.pmf.keys()
+    assert abs(_entropy_table() - _entropy_reference()) < 1e-9
+    assert abs(_mi_table() - _mi_reference()) < 1e-9
+    assert _lemma_check_table() == _lemma_check_reference()
+
+    sections = {
+        "marginalize": {
+            "table": 1 / _time_ops(_marginalize_table),
+            "reference": 1 / _time_ops(_marginalize_reference),
+        },
+        "entropy": {
+            "table": 1 / _time_ops(_entropy_table),
+            "reference": 1 / _time_ops(_entropy_reference),
+        },
+        "mutual_information": {
+            "table": 1 / _time_ops(_mi_table),
+            "reference": 1 / _time_ops(_mi_reference),
+        },
+        "lemma_check": {
+            "table": 1 / _time_ops(_lemma_check_table, min_seconds=0.5),
+            "reference": 1 / _time_ops(_lemma_check_reference, min_seconds=0.5),
+        },
+    }
+    for section in sections.values():
+        section["speedup"] = section["table"] / section["reference"]
+
+    return {
+        "unit": "ops per second (kernel calls / full lemma checks)",
+        "instance": {"r": _HARD.r, "t": _HARD.t, "k": _HARD.k,
+                     "rows": _T_DIST.num_rows},
+        "sections": sections,
+    }
+
+
+def main(argv: list[str]) -> int:
+    out = None
+    if "--out" in argv:
+        out = Path(argv[argv.index("--out") + 1])
+    report = run_smoke()
+    for name, section in report["sections"].items():
+        print(
+            f"{name:20s} table {section['table']:>12.0f} ops/s"
+            f"   reference {section['reference']:>12.0f} ops/s"
+            f"   speedup {section['speedup']:.1f}x"
+        )
+    lemma = report["sections"]["lemma_check"]
+    print(
+        f"lemma check (r={_HARD.r}, t={_HARD.t}, k={_HARD.k}, "
+        f"{report['instance']['rows']} rows): "
+        f"{1e3 / lemma['table']:.2f} ms table vs "
+        f"{1e3 / lemma['reference']:.2f} ms reference"
+    )
+    if out is not None:
+        out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

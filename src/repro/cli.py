@@ -14,6 +14,11 @@ strings otherwise — enough to steer every registered experiment.
 pool, ``--cache-dir PATH`` persists the construction cache on disk, and
 ``--no-cache`` disables caching.  Each experiment prints a summary line
 with its wall clock, backend policy, and cache traffic.
+
+``run`` and ``run-all`` additionally accept ``--exact``: runners that
+support it (the L33/L34/L35 lemma checkers) then enumerate their joint
+distributions in the columnar kernel's Fraction mode — probabilities,
+expected values, and error rates become exact rationals.
 """
 
 from __future__ import annotations
@@ -110,11 +115,21 @@ def _engine_summary(
     return f"(ran in {elapsed:.2f}s; backend {engine.describe()}; cache {cache})"
 
 
-def _run_with_engine(experiment, overrides: dict, engine: ExecutionEngine):
-    """Call an experiment runner, passing ``engine=`` when it accepts one."""
+def _run_with_engine(
+    experiment, overrides: dict, engine: ExecutionEngine, exact: bool = False
+):
+    """Call an experiment runner, passing ``engine=`` when it accepts one.
+
+    ``--exact`` is injected the same way: runners that take an
+    ``exact`` parameter (the lemma checkers) get Fraction-backed
+    distributions; runners that don't are unaffected.
+    """
     kwargs = dict(overrides)
-    if "engine" in inspect.signature(experiment.runner).parameters:
+    params = inspect.signature(experiment.runner).parameters
+    if "engine" in params:
         kwargs.setdefault("engine", engine)
+    if exact and "exact" in params:
+        kwargs.setdefault("exact", True)
     return experiment.run(**kwargs)
 
 
@@ -130,6 +145,7 @@ def cmd_run(
     overrides: dict,
     as_json: bool = False,
     engine: ExecutionEngine | None = None,
+    exact: bool = False,
 ) -> int:
     """Run one experiment with keyword overrides and print its report.
 
@@ -140,7 +156,7 @@ def cmd_run(
     engine = engine or ExecutionEngine()
     before = engine.cache.stats.snapshot()
     start = time.time()
-    report = _run_with_engine(experiment, overrides, engine)
+    report = _run_with_engine(experiment, overrides, engine, exact)
     elapsed = time.time() - start
     if as_json:
         import json
@@ -157,13 +173,15 @@ def cmd_run(
     return 0
 
 
-def cmd_run_all(engine: ExecutionEngine | None = None) -> int:
+def cmd_run_all(
+    engine: ExecutionEngine | None = None, exact: bool = False
+) -> int:
     """Run every experiment in id order with a per-experiment summary."""
     engine = engine or ExecutionEngine()
     for exp in all_experiments():
         before = engine.cache.stats.snapshot()
         start = time.time()
-        report = _run_with_engine(exp, {}, engine)
+        report = _run_with_engine(exp, {}, engine, exact)
         elapsed = time.time() - start
         print(report.render())
         print(f"[{exp.experiment_id}] {_engine_summary(engine, elapsed, before)}")
@@ -234,8 +252,18 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--json", action="store_true", help="print structured data as JSON"
     )
+    run_parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="Fraction-backed probabilities for runners that support it",
+    )
     _add_engine_flags(run_parser)
     run_all_parser = sub.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="Fraction-backed probabilities for runners that support it",
+    )
     _add_engine_flags(run_all_parser)
     attack_parser = sub.add_parser("attack", help="attack D_MM with a named protocol")
     attack_parser.add_argument("spec", help="protocol spec, e.g. sampled:2 or mis-full")
@@ -252,10 +280,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return cmd_run(
             args.experiment_id, _parse_kwargs(args.kw), args.json,
-            engine=_build_engine(args),
+            engine=_build_engine(args), exact=args.exact,
         )
     if args.command == "run-all":
-        return cmd_run_all(engine=_build_engine(args))
+        return cmd_run_all(engine=_build_engine(args), exact=args.exact)
     if args.command == "attack":
         return cmd_attack(
             args.spec, args.m, args.k, args.trials, args.seed,

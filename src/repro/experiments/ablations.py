@@ -101,6 +101,65 @@ def _filtering_ablation(trials: int, seed: int) -> tuple[list, list[dict]]:
     return rows, data
 
 
+def _kernel_ablation() -> tuple[list, list[dict]]:
+    """Columnar table kernel vs dict oracle on the exact lemma check.
+
+    Times ``analyze_protocol`` + the full Lemma 3.3–3.5 evaluation under
+    both kernels on one micro instance — the in-repo justification for
+    the columnar default (the CI benchmark tracks the same ratio on the
+    larger instance).
+    """
+    import time
+
+    from ..lowerbound import analyze_protocol, micro_distribution
+    from ..lowerbound.transcripts import ExactAnalysis
+    from ..model import PublicCoins
+    from ..protocols import SampledEdgesMatching
+
+    hard = micro_distribution(r=1, t=2, k=2)
+    protocol = SampledEdgesMatching(1)
+    coins = PublicCoins(seed=2020)
+    rows, data = [], []
+    timings: dict[str, float] = {}
+    num_rows = 0
+    for kernel in ("table", "reference"):
+        # Enumerate once outside the timer — the protocol simulation is
+        # kernel-independent; what's compared is the lemma evaluation.
+        a = analyze_protocol(hard, protocol, coins, kernel=kernel)
+        num_rows = a.dist.num_rows if kernel == "table" else num_rows
+        reps = 5
+        start = time.perf_counter()
+        for _ in range(reps):
+            # Fresh ExactAnalysis per rep defeats the cached_property
+            # memoization, so every lemma quantity is recomputed.
+            fresh = ExactAnalysis(
+                hard=a.hard, dist=a.dist, expected_mu=a.expected_mu,
+                error_probability=a.error_probability,
+                worst_case_bits=a.worst_case_bits,
+            )
+            fresh.information_revealed
+            fresh.lemma33_holds()
+            fresh.lemma34_holds()
+            fresh.lemma35_all_hold()
+        timings[kernel] = (time.perf_counter() - start) / reps
+    speedup = timings["reference"] / timings["table"] if timings["table"] else 0.0
+    for kernel in ("table", "reference"):
+        rows.append(
+            (
+                kernel,
+                num_rows,
+                f"{timings[kernel] * 1e3:.2f} ms",
+                f"{speedup:.2f}x" if kernel == "table" else "1.00x",
+            )
+        )
+        data.append(
+            {"knob": "infotheory_kernel", "value": kernel,
+             "seconds": timings[kernel],
+             "speedup_vs_reference": speedup if kernel == "table" else 1.0}
+        )
+    return rows, data
+
+
 def _uniformization_ablation() -> tuple[list, list[dict]]:
     rows, data = [], []
     base = sum_class_rs_graph(16)
@@ -144,7 +203,23 @@ def run_ablations(trials: int = 6, seed: int = 0) -> ExperimentReport:
     all_data.extend(uni_data)
     uni_table = render_table(["variant", "r", "t", "edges = r*t"], uni_rows)
 
-    lines = [*table, "", "RS uniformization variants (m=16 sum-class):", "", *uni_table]
+    kernel_rows, kernel_data = _kernel_ablation()
+    all_data.extend(kernel_data)
+    kernel_table = render_table(
+        ["kernel", "rows", "lemma check time", "speedup"], kernel_rows
+    )
+
+    lines = [
+        *table,
+        "",
+        "RS uniformization variants (m=16 sum-class):",
+        "",
+        *uni_table,
+        "",
+        "Infotheory kernel (exact lemma check, micro r=1 t=2 k=2):",
+        "",
+        *kernel_table,
+    ]
     return ExperimentReport(
         experiment_id="ABL",
         title="Design-choice ablations",

@@ -13,9 +13,15 @@ probability constant.
 
 from __future__ import annotations
 
+import math
+
 from ..engine import ExecutionEngine
 from ..lowerbound import scaled_distribution
-from ..lowerbound.average_case import max_to_average_gap, symmetrized_cost_profile
+from ..lowerbound.average_case import (
+    cost_profile_entropy,
+    max_to_average_gap,
+    symmetrized_cost_profile,
+)
 from ..lowerbound.concentration import (
     claim31_tail_chernoff,
     claim31_tail_exact,
@@ -48,6 +54,7 @@ def run_average_case(
             profile = symmetrized_cost_profile(
                 hard, protocol, trials=t, seed=seed, engine=engine
             )
+            share_entropy = cost_profile_entropy(profile)
             rows.append(
                 (
                     protocol.name,
@@ -56,6 +63,7 @@ def run_average_case(
                     profile.max,
                     profile.relative_spread,
                     max_to_average_gap(profile),
+                    share_entropy,
                 )
             )
             data_rows.append(
@@ -66,10 +74,19 @@ def run_average_case(
                     "max_bits": profile.max,
                     "relative_spread": profile.relative_spread,
                     "max_to_average": max_to_average_gap(profile),
+                    "share_entropy_bits": share_entropy,
                 }
             )
     table = render_table(
-        ["protocol", "trials", "E[bits] mean", "E[bits] max", "spread", "max/avg"],
+        [
+            "protocol",
+            "trials",
+            "E[bits] mean",
+            "E[bits] max",
+            "spread",
+            "max/avg",
+            "share H (bits)",
+        ],
         rows,
     )
 
@@ -90,6 +107,8 @@ def run_average_case(
     )
     lines = [
         "Per-player expected cost under random sigma (symmetrization):",
+        f"(share entropy -> log2 n = {math.log2(hard.n):.4f} bits as the "
+        "profile flattens)",
         "",
         *table,
         "",

@@ -28,30 +28,41 @@ def _protocol_suite():
 
 def _analyze_one(item: tuple):
     """Exact-enumeration analysis of one protocol (module-level for pools)."""
-    hard, protocol = item
-    return analyze_protocol(hard, protocol, _COINS)
+    hard, protocol, exact = item
+    return analyze_protocol(hard, protocol, _COINS, exact=exact)
 
 
-def _analyses(r: int, t: int, k: int, engine: ExecutionEngine | None = None):
+def _analyses(
+    r: int,
+    t: int,
+    k: int,
+    engine: ExecutionEngine | None = None,
+    exact: bool = False,
+):
     """Per-protocol exact analyses, fanned out over the engine.
 
     Each protocol's joint-distribution enumeration is independent and
     expensive (2^(k·t·r) indicator tables), so protocols — not trials —
-    are the engine's work units here.
+    are the engine's work units here.  ``exact`` switches the columnar
+    kernel to Fraction probabilities (the CLI's ``--exact``).
     """
     engine = resolve_engine(engine)
     hard = micro_distribution(r=r, t=t, k=k)
     suite = _protocol_suite()
-    analyses = engine.map(_analyze_one, [(hard, p) for p in suite])
+    analyses = engine.map(_analyze_one, [(hard, p, exact) for p in suite])
     return hard, list(zip(suite, analyses))
 
 
 @register("L33", "Information lower bound (Lemma 3.3)", "Lemma 3.3")
 def run_lemma33(
-    r: int = 1, t: int = 2, k: int = 2, engine: ExecutionEngine | None = None
+    r: int = 1,
+    t: int = 2,
+    k: int = 2,
+    engine: ExecutionEngine | None = None,
+    exact: bool = False,
 ) -> ExperimentReport:
     """I(M;Π|Σ,J) vs the proof's implied bound E|M^U| - Pr[err]·kr - 1."""
-    hard, analyses = _analyses(r, t, k, engine)
+    hard, analyses = _analyses(r, t, k, engine, exact)
     rows = []
     data_rows = []
     for protocol, a in analyses:
@@ -70,10 +81,10 @@ def run_lemma33(
             {
                 "protocol": protocol.name,
                 "bits": a.worst_case_bits,
-                "error": a.error_probability,
-                "expected_mu": a.expected_mu,
+                "error": float(a.error_probability),
+                "expected_mu": float(a.expected_mu),
                 "information": a.information_revealed,
-                "implied_bound": a.lemma33_implied_bound,
+                "implied_bound": float(a.lemma33_implied_bound),
                 "holds": a.lemma33_holds(),
             }
         )
@@ -108,10 +119,14 @@ def run_lemma33(
 
 @register("L34", "Public/unique decomposition (Lemma 3.4)", "Lemma 3.4")
 def run_lemma34(
-    r: int = 1, t: int = 2, k: int = 2, engine: ExecutionEngine | None = None
+    r: int = 1,
+    t: int = 2,
+    k: int = 2,
+    engine: ExecutionEngine | None = None,
+    exact: bool = False,
 ) -> ExperimentReport:
     """I(M;Π|Σ,J) <= H(Π(P)) + Σ_i I(M_{i,J};Π(U_i)|Σ,J), exactly."""
-    hard, analyses = _analyses(r, t, k, engine)
+    hard, analyses = _analyses(r, t, k, engine, exact)
     rows = []
     data_rows = []
     for protocol, a in analyses:
@@ -150,12 +165,16 @@ def run_lemma34(
 
 @register("L35", "Direct-sum for unique players (Lemma 3.5)", "Lemma 3.5")
 def run_lemma35(
-    r: int = 1, t: int = 3, k: int = 2, engine: ExecutionEngine | None = None
+    r: int = 1,
+    t: int = 3,
+    k: int = 2,
+    engine: ExecutionEngine | None = None,
+    exact: bool = False,
 ) -> ExperimentReport:
     """Per copy i: I(M_{i,J};Π(U_i)|Σ,J) <= H(Π(U_i))/t — the 1/t factor
     is the direct-sum engine of the whole lower bound, so the table
     reports it per copy."""
-    hard, analyses = _analyses(r, t, k, engine)
+    hard, analyses = _analyses(r, t, k, engine, exact)
     rows = []
     data_rows = []
     for protocol, a in analyses:

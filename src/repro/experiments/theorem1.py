@@ -16,6 +16,7 @@ from ..engine import ExecutionEngine
 from ..lowerbound import (
     bound_table,
     budget_sweep,
+    empirical_information,
     proof_chain_bound,
     scaled_distribution,
 )
@@ -88,12 +89,18 @@ def run_theorem1_sweep(
     knobs: list[int] | None = None,
     seed: int = 0,
     engine: ExecutionEngine | None = None,
+    information: bool = False,
 ) -> ExperimentReport:
     """Sweep sampling budgets against D_MM and chart the success threshold.
 
     The sweep's inner Monte-Carlo loops route through the execution
     engine: every knob shares the cached instance family, and trials fan
     out over the engine's backend with backend-independent results.
+
+    ``information=True`` adds a plug-in I(J ; Π) column per knob
+    (estimated on the same instance family via the columnar empirical
+    distribution) — the Monte-Carlo shadow of Lemma 3.3's revealed
+    information.  Off by default: it reruns the protocol per knob.
     """
     hard = scaled_distribution(m=m, k=k)
     if knobs is None:
@@ -125,17 +132,28 @@ def run_theorem1_sweep(
                 "mean_unique_unique": r.mean_unique_unique,
             }
         )
-    table = render_table(
-        [
-            "edges/vertex",
-            "max bits",
-            "strict success",
-            "relaxed success",
-            "mean UU edges",
-            "kr/4",
-        ],
-        rows,
-    )
+    if information:
+        for row_index, p in enumerate(points):
+            mi = empirical_information(
+                hard,
+                SampledEdgesMatching(p.knob),
+                trials=trials,
+                seed=seed,
+                engine=engine,
+            )
+            rows[row_index] = (*rows[row_index], mi)
+            data_rows[row_index]["plugin_information"] = mi
+    headers = [
+        "edges/vertex",
+        "max bits",
+        "strict success",
+        "relaxed success",
+        "mean UU edges",
+        "kr/4",
+    ]
+    if information:
+        headers.append("I(J;Π) plug-in")
+    table = render_table(headers, rows)
     info = render_kv(
         [
             ("distribution", f"m={m}, k={k}: N={hard.N}, r={hard.r}, t={hard.t}, n={hard.n}"),

@@ -1,6 +1,16 @@
-"""Exact finite information theory (Section 2.3 of the paper)."""
+"""Exact finite information theory (Section 2.3 of the paper).
 
-from .distribution import JointDistribution, Outcome
+Two interchangeable distribution implementations live here: the
+columnar log-space :class:`TableDistribution` kernel (``table.py``, the
+default on all hot paths) and the original dict-of-tuples
+:class:`JointDistribution` oracle (``reference.py``), kept for the
+differential suite.  Both share the same observable API — marginal /
+condition / support / probability / entropy / mutual_information plus
+the ``items()`` / ``get()`` accessors the divergence helpers run on.
+"""
+
+from .reference import NORMALIZATION_TOLERANCE, JointDistribution, Outcome
+from .table import Codebook, TableBuilder, TableDistribution
 from .divergences import (
     fano_error_lower_bound,
     kl_divergence,
@@ -28,9 +38,13 @@ from .facts import (
 )
 
 __all__ = [
+    "Codebook",
     "FactCheck",
     "JointDistribution",
+    "NORMALIZATION_TOLERANCE",
     "Outcome",
+    "TableBuilder",
+    "TableDistribution",
     "empirical_distribution",
     "fact_22_1_entropy_range",
     "fact_22_2_nonnegative_mi",

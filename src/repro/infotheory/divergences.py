@@ -3,9 +3,12 @@
 The paper's Section 3 uses entropy and mutual information directly, but
 the surrounding literature (and the "protocol must err" direction of
 our experiments) speaks the language of KL divergence, total variation,
-Pinsker's inequality, and Fano's inequality.  These are implemented over
-the same finite :class:`~repro.infotheory.distribution.JointDistribution`
-objects and validated against each other in the test suite:
+Pinsker's inequality, and Fano's inequality.  These are implemented
+generically over *either* finite distribution implementation — the
+columnar :class:`~repro.infotheory.table.TableDistribution` kernel or
+the dict :class:`~repro.infotheory.reference.JointDistribution` oracle —
+through the shared ``items()`` / ``get()`` accessors, and validated
+against each other in the test suite:
 
 * ``I(A;B) = KL(p(a,b) || p(a)p(b))`` (checked numerically);
 * Pinsker: ``TV(P,Q) <= sqrt(KL(P||Q) / 2)``;
@@ -16,6 +19,10 @@ Fano is also wired into an experiment-facing helper:
 :func:`fano_error_lower_bound` bounds below the error of *any* referee
 that must output the special-matching indicators given the transcript —
 a direct, quantitative cousin of Lemma 3.3.
+
+Mixed-type calls are fine (oracle ``p`` against table ``q``); helpers
+that *build* a distribution (:func:`product_of_marginals`) return the
+same type as their input.
 """
 
 from __future__ import annotations
@@ -23,34 +30,36 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
-from .distribution import JointDistribution
+from .reference import JointDistribution
 
 
-def kl_divergence(p: JointDistribution, q: JointDistribution) -> float:
+def kl_divergence(p, q) -> float:
     """KL(P || Q) in bits over identically named variables.
 
-    Infinite when P puts mass outside Q's support.
+    Infinite when P puts mass outside Q's support; outcomes with zero
+    probability under P contribute nothing (0 log 0 = 0, and zero rows
+    never appear in either implementation's support).
     """
     if p.variables != q.variables:
         raise ValueError("distributions must share the same variables")
     total = 0.0
-    for outcome, pp in p.pmf.items():
-        qq = q.pmf.get(outcome, 0.0)
+    for outcome, pp in p.items():
+        qq = q.get(outcome, 0.0)
         if qq <= 0.0:
             return math.inf
         total += pp * math.log2(pp / qq)
     return max(0.0, total)
 
 
-def total_variation(p: JointDistribution, q: JointDistribution) -> float:
+def total_variation(p, q) -> float:
     """TV(P, Q) = (1/2) Σ |P - Q| over identically named variables."""
     if p.variables != q.variables:
         raise ValueError("distributions must share the same variables")
-    keys = set(p.pmf) | set(q.pmf)
-    return 0.5 * sum(abs(p.pmf.get(k, 0.0) - q.pmf.get(k, 0.0)) for k in keys)
+    keys = {o for o, _ in p.items()} | {o for o, _ in q.items()}
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
-def pinsker_bound(p: JointDistribution, q: JointDistribution) -> float:
+def pinsker_bound(p, q) -> float:
     """The Pinsker upper bound sqrt(KL/2) on TV (KL measured in nats)."""
     kl_bits = kl_divergence(p, q)
     if math.isinf(kl_bits):
@@ -59,25 +68,24 @@ def pinsker_bound(p: JointDistribution, q: JointDistribution) -> float:
     return min(1.0, math.sqrt(kl_nats / 2.0))
 
 
-def product_of_marginals(
-    dist: JointDistribution, a: Sequence[str], b: Sequence[str]
-) -> JointDistribution:
-    """The independent coupling p(a) x p(b), on variables a + b."""
+def product_of_marginals(dist, a: Sequence[str], b: Sequence[str]):
+    """The independent coupling p(a) x p(b), on variables a + b.
+
+    Returns the same distribution type as ``dist``.
+    """
     a, b = list(a), list(b)
     if set(a) & set(b):
         raise ValueError("variable groups must be disjoint")
     pa = dist.marginal(a)
     pb = dist.marginal(b)
     pmf = {}
-    for oa, qa in pa.pmf.items():
-        for ob, qb in pb.pmf.items():
+    for oa, qa in pa.items():
+        for ob, qb in pb.items():
             pmf[oa + ob] = qa * qb
-    return JointDistribution(a + b, pmf)
+    return type(dist)(a + b, pmf)
 
 
-def mutual_information_via_kl(
-    dist: JointDistribution, a: Sequence[str], b: Sequence[str]
-) -> float:
+def mutual_information_via_kl(dist, a: Sequence[str], b: Sequence[str]) -> float:
     """I(A;B) computed as KL(p(a,b) || p(a)p(b)) — cross-validates the
     entropy-difference implementation."""
     joint = dist.marginal(list(a) + list(b))
@@ -85,9 +93,7 @@ def mutual_information_via_kl(
     return kl_divergence(joint, product)
 
 
-def fano_error_lower_bound(
-    dist: JointDistribution, x: Sequence[str], y: Sequence[str]
-) -> float:
+def fano_error_lower_bound(dist, x: Sequence[str], y: Sequence[str]) -> float:
     """Fano: any estimator g(Y) of X has error probability at least
 
         (H(X | Y) - 1) / log2 |supp(X)|
@@ -104,9 +110,7 @@ def fano_error_lower_bound(
     return max(0.0, (h - 1.0) / math.log2(support))
 
 
-def optimal_guess_error(
-    dist: JointDistribution, x: Sequence[str], y: Sequence[str]
-) -> float:
+def optimal_guess_error(dist, x: Sequence[str], y: Sequence[str]) -> float:
     """The exact Bayes error of the best estimator of X from Y.
 
     err = 1 - E_y [ max_x p(x | y) ].  Fano's bound must sit below this;
@@ -117,7 +121,7 @@ def optimal_guess_error(
     arity_x = len(x)
     # For each y, the best guess captures max_x p(x, y).
     best: dict[tuple, float] = {}
-    for outcome, p in joint.pmf.items():
+    for outcome, p in joint.items():
         key = outcome[arity_x:]
         best[key] = max(best.get(key, 0.0), p)
     return max(0.0, 1.0 - sum(best.values()))

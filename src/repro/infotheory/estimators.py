@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 from collections.abc import Hashable, Iterable, Sequence
 
-from .distribution import JointDistribution, Outcome
+from .reference import Outcome
+from .table import TableDistribution
 
 
 def plugin_entropy(samples: Iterable[Hashable]) -> float:
@@ -43,17 +44,30 @@ def miller_madow_entropy(samples: Sequence[Hashable]) -> float:
 
 
 def empirical_distribution(
-    variables: Sequence[str], samples: Sequence[Outcome]
-) -> JointDistribution:
-    """The plug-in joint distribution of sampled outcome tuples."""
-    return JointDistribution.from_samples(variables, samples)
+    variables: Sequence[str],
+    samples: Sequence[Outcome],
+    *,
+    kernel: str = "table",
+):
+    """The plug-in joint distribution of sampled outcome tuples.
+
+    ``kernel`` selects the implementation: ``"table"`` (columnar
+    default) or ``"reference"`` (dict oracle).
+    """
+    if kernel == "table":
+        return TableDistribution.from_samples(variables, samples)
+    if kernel == "reference":
+        from .reference import JointDistribution
+
+        return JointDistribution.from_samples(variables, samples)
+    raise ValueError(f"unknown kernel {kernel!r}")
 
 
 def plugin_mutual_information(
     pairs: Sequence[tuple[Hashable, Hashable]]
 ) -> float:
     """Plug-in I(X ; Y) from paired samples, in bits (clamped at 0)."""
-    dist = JointDistribution.from_samples(
+    dist = TableDistribution.from_samples(
         ("x", "y"), [(x, y) for x, y in pairs]
     )
     return dist.mutual_information(["x"], ["y"])

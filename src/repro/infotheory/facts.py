@@ -1,7 +1,10 @@
 """Executable versions of Fact 2.2 and Propositions 2.3 / 2.4.
 
-Each checker takes a :class:`~repro.infotheory.distribution.JointDistribution`
-and variable groups, computes both sides of the paper's statement, and
+Each checker takes a distribution — either the columnar
+:class:`~repro.infotheory.table.TableDistribution` kernel or the dict
+:class:`~repro.infotheory.reference.JointDistribution` oracle; only the
+shared entropy / mutual-information / support API is used — plus
+variable groups, computes both sides of the paper's statement, and
 returns a :class:`FactCheck` carrying the numbers and the verdict.  The
 test suite runs these on structured *and* random distributions — first
 to validate the information-theory engine itself, and then the same
@@ -14,7 +17,7 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from .distribution import JointDistribution
+from .reference import JointDistribution
 
 _SLACK = 1e-7
 

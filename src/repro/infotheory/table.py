@@ -1,0 +1,893 @@
+"""Columnar log-space probability kernel: the ``TableDistribution`` core.
+
+The paper's lower bound is a chain of entropy / mutual-information
+(in)equalities computed on exact joint distributions of (indicators,
+transcript, special index).  The original engine stored those as a dict
+from full outcome tuples to floats — every marginalization re-hashed
+every tuple (including tuples of packed ``Message`` payloads) and every
+entropy call re-walked the dict.  This module rebuilds the distribution
+as an immutable *outcome table*:
+
+* **Interned codebooks** — each variable owns a :class:`Codebook`
+  mapping its outcome values (arbitrary hashables) to dense small-int
+  codes, ordered canonically by the value's type-tagged byte encoding;
+* **Columnar storage** — one ``array`` of integer codes per variable
+  plus a single probability column (``array('d')``, or a tuple of
+  ``Fraction`` in exact mode), rows sorted lexicographically by code;
+* **Single-pass grouped kernels** — marginalize / condition / map
+  (``push_forward``) walk the columns once, grouping rows by their
+  projected code tuples instead of re-hashing value tuples;
+* **Log-space information measures** — entropy and mutual information
+  accumulate group masses with a log-sum-exp combiner over a cached
+  log-probability column, so deep conditional chains never underflow;
+* **Exact mode** — probabilities as ``Fraction``; marginals,
+  conditionals and event probabilities are exact rationals, information
+  measures are floats of exact group masses;
+* **Content addressing** — a canonical byte serialization (format
+  ``TBLD1``, pinned in ``docs/infotheory.md``) whose SHA-256
+  :attr:`~TableDistribution.digest` content-addresses the distribution;
+  :attr:`~TableDistribution.cache_token` lets distributions participate
+  in the engine's construction cache exactly like ``FrozenGraph``.
+
+The dict implementation survives as
+:mod:`repro.infotheory.reference` — the differential oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from array import array
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from fractions import Fraction
+
+from .reference import NORMALIZATION_TOLERANCE, Outcome
+
+_MAGIC = b"TBLD1"
+
+#: Width tags for column serialization: smallest unsigned array typecode
+#: that holds the codebook's largest code.
+_WIDTH_CODES = (("B", 1 << 8), ("H", 1 << 16), ("L", 1 << 32), ("Q", 1 << 64))
+
+
+def _typecode_for(size: int) -> str:
+    for code, limit in _WIDTH_CODES:
+        if size <= limit:
+            return code
+    raise ValueError(f"codebook of {size} values exceeds 64-bit codes")
+
+
+# ----------------------------------------------------------------------
+# Canonical value encoding
+# ----------------------------------------------------------------------
+def _canon_value(value) -> bytes:
+    """Type-tagged canonical byte encoding of one outcome value.
+
+    Total order over heterogeneous values (codes are assigned in this
+    encoding's sort order) and the unit of the ``TBLD1`` byte format.
+    Standard scalar/composite types round-trip; opaque objects fall
+    back to a content fingerprint (``cache_token``, ``payload`` bytes
+    for packed messages, else ``repr``) that addresses but does not
+    reconstruct them.
+    """
+    if value is None:
+        return b"N"
+    if value is True:
+        return b"B\x01"
+    if value is False:
+        return b"B\x00"
+    cls = type(value)
+    if cls is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8, "little", signed=True)
+        return b"I" + len(raw).to_bytes(4, "little") + raw
+    if cls is float:
+        return b"F" + struct.pack("<d", value)
+    if cls is str:
+        raw = value.encode("utf-8")
+        return b"S" + len(raw).to_bytes(4, "little") + raw
+    if cls is bytes:
+        return b"Y" + len(value).to_bytes(4, "little") + value
+    if cls is tuple:
+        parts = [_canon_value(v) for v in value]
+        return (
+            b"T"
+            + len(parts).to_bytes(4, "little")
+            + b"".join(len(p).to_bytes(4, "little") + p for p in parts)
+        )
+    if cls is frozenset:
+        parts = sorted(_canon_value(v) for v in value)
+        return (
+            b"E"
+            + len(parts).to_bytes(4, "little")
+            + b"".join(len(p).to_bytes(4, "little") + p for p in parts)
+        )
+    if cls is Fraction:
+        num = _canon_value(value.numerator)
+        den = _canon_value(value.denominator)
+        return b"Q" + num + den
+    token = getattr(value, "cache_token", None)
+    if isinstance(token, str):
+        raw = token.encode("utf-8")
+        return b"C" + len(raw).to_bytes(4, "little") + raw
+    payload = getattr(value, "payload", None)
+    bits = getattr(value, "num_bits", None)
+    if isinstance(payload, bytes) and isinstance(bits, int):
+        # Packed messages: payload + charged bit count is the content.
+        return (
+            b"M"
+            + bits.to_bytes(8, "little")
+            + len(payload).to_bytes(4, "little")
+            + payload
+        )
+    raw = repr(value).encode("utf-8")
+    return b"R" + len(raw).to_bytes(4, "little") + raw
+
+
+def _decode_value(blob: bytes):
+    """Inverse of :func:`_canon_value` for the round-trippable tags."""
+    tag, body = blob[:1], blob[1:]
+    if tag == b"N":
+        return None
+    if tag == b"B":
+        return body == b"\x01"
+    if tag == b"I":
+        n = int.from_bytes(body[:4], "little")
+        return int.from_bytes(body[4 : 4 + n], "little", signed=True)
+    if tag == b"F":
+        return struct.unpack("<d", body)[0]
+    if tag == b"S":
+        n = int.from_bytes(body[:4], "little")
+        return body[4 : 4 + n].decode("utf-8")
+    if tag == b"Y":
+        n = int.from_bytes(body[:4], "little")
+        return body[4 : 4 + n]
+    if tag in (b"T", b"E"):
+        count = int.from_bytes(body[:4], "little")
+        pos, items = 4, []
+        for _ in range(count):
+            n = int.from_bytes(body[pos : pos + 4], "little")
+            pos += 4
+            items.append(_decode_value(body[pos : pos + n]))
+            pos += n
+        return tuple(items) if tag == b"T" else frozenset(items)
+    raise ValueError(
+        f"value tag {tag!r} is content-addressed but not reconstructible"
+    )
+
+
+# ----------------------------------------------------------------------
+# Codebook
+# ----------------------------------------------------------------------
+class Codebook:
+    """Interning table mapping one variable's outcome values to codes.
+
+    ``intern`` assigns dense first-seen codes (O(1) dict lookups on the
+    hot append path); canonicalization later re-sorts codes by
+    :func:`_canon_value` bytes so equal distributions built in any
+    insertion order produce identical columns and digests.
+    """
+
+    __slots__ = ("_values", "_codes")
+
+    def __init__(self, values: Iterable[Hashable] = ()) -> None:
+        self._values: list = []
+        self._codes: dict = {}
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Hashable) -> int:
+        """The code for ``value``, allocating the next code if new."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def code(self, value: Hashable) -> int | None:
+        """The existing code for ``value``, or None if never interned."""
+        return self._codes.get(value)
+
+    def value(self, code: int):
+        return self._values[code]
+
+    @property
+    def values(self) -> tuple:
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._codes
+
+    def __repr__(self) -> str:
+        return f"Codebook({len(self._values)} values)"
+
+
+def _lse2(a: float, b: float) -> float:
+    """log2(2^a + 2^b) without leaving log space."""
+    if a < b:
+        a, b = b, a
+    diff = b - a
+    if diff < -1074:  # 2^diff underflows double precision entirely
+        return a
+    return a + math.log2(1.0 + 2.0**diff)
+
+
+class TableDistribution:
+    """An immutable columnar joint distribution with named variables.
+
+    API-compatible with the reference
+    :class:`~repro.infotheory.reference.JointDistribution` (marginal /
+    condition / support / probability / entropy / mutual_information),
+    plus the columnar extras: ``push_forward`` mapping, exact
+    ``Fraction`` mode, canonical bytes, and a content digest.
+    """
+
+    __slots__ = (
+        "variables",
+        "_codebooks",
+        "_columns",
+        "_probs",
+        "_exact",
+        "_bytes",
+        "_digest",
+        "_logps",
+        "_pmf",
+    )
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        pmf: Mapping[Outcome, float],
+        *,
+        normalize: bool = False,
+        exact: bool = False,
+    ) -> None:
+        variables = tuple(variables)
+        builder = TableBuilder(variables, exact=exact)
+        for outcome, prob in pmf.items():
+            builder.add(outcome, prob)
+        dist = builder.build(normalize=normalize)
+        self._adopt(dist)
+
+    def _adopt(self, other: "TableDistribution") -> None:
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, getattr(other, slot))
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        variables: tuple[str, ...],
+        codebooks: tuple[Codebook, ...],
+        columns: tuple[array, ...],
+        probs,
+        exact: bool,
+    ) -> "TableDistribution":
+        """Trusted constructor from already-canonical columns: codebooks
+        sorted by canonical value bytes with every code in use, rows
+        sorted lexicographically, duplicates merged, zero rows dropped."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "_codebooks", codebooks)
+        object.__setattr__(self, "_columns", columns)
+        object.__setattr__(self, "_probs", probs)
+        object.__setattr__(self, "_exact", exact)
+        object.__setattr__(self, "_bytes", None)
+        object.__setattr__(self, "_digest", None)
+        object.__setattr__(self, "_logps", None)
+        object.__setattr__(self, "_pmf", None)
+        return self
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("TableDistribution is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        variables: Sequence[str],
+        rows: Iterable[Outcome],
+        weights: Iterable | None = None,
+        *,
+        normalize: bool = False,
+        exact: bool = False,
+    ) -> "TableDistribution":
+        """Build from an iterable of outcome rows and optional weights
+        (unit weights when omitted, normalized empirically)."""
+        builder = TableBuilder(tuple(variables), exact=exact)
+        if weights is None:
+            count = 0
+            one = Fraction(1) if exact else 1.0
+            for row in rows:
+                builder.add(row, one)
+                count += 1
+            if count == 0:
+                raise ValueError("no rows")
+            return builder.build(normalize=True)
+        for row, w in zip(rows, weights):
+            builder.add(row, w)
+        return builder.build(normalize=normalize)
+
+    @classmethod
+    def from_samples(
+        cls, variables: Sequence[str], samples: Iterable[Outcome]
+    ) -> "TableDistribution":
+        """Empirical (plug-in) distribution from a sample list."""
+        try:
+            return cls.from_rows(variables, samples)
+        except ValueError as exc:
+            if "no rows" in str(exc):
+                raise ValueError("no samples") from None
+            raise
+
+    @classmethod
+    def uniform(
+        cls, variables: Sequence[str], outcomes: Sequence[Outcome]
+    ) -> "TableDistribution":
+        if not outcomes:
+            raise ValueError("no outcomes")
+        return cls.from_rows(variables, outcomes)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """True when probabilities are ``Fraction``-backed."""
+        return self._exact
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._probs)
+
+    def codebook(self, name: str) -> Codebook:
+        """The interning codebook of one variable."""
+        return self._codebooks[self._index(name)]
+
+    def _index(self, name: str) -> int:
+        try:
+            return self.variables.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown variable in {[name]!r}") from exc
+
+    def _indices(self, names: Sequence[str]) -> list[int]:
+        try:
+            return [self.variables.index(name) for name in names]
+        except ValueError as exc:
+            raise KeyError(f"unknown variable in {names!r}") from exc
+
+    def support(self, names: Sequence[str] | None = None) -> set[Outcome]:
+        """The outcomes carrying strictly positive probability.
+
+        Zero-weight rows are dropped at canonicalization time (the same
+        documented invariant as the reference oracle), so the support is
+        exactly the stored row set; with ``names`` the projection of the
+        rows onto those variables.
+        """
+        if names is None:
+            idx = range(len(self.variables))
+        else:
+            idx = self._indices(names)
+        decoders = [self._codebooks[i]._values for i in idx]
+        cols = [self._columns[i] for i in idx]
+        return {
+            tuple(dec[c] for dec, c in zip(decoders, codes))
+            for codes in zip(*cols)
+        } if cols else ({()} if self.num_rows else set())
+
+    @property
+    def pmf(self) -> dict:
+        """Dict view ``outcome tuple -> probability`` (lazily cached) —
+        the compatibility surface shared with the reference oracle."""
+        if self._pmf is None:
+            decoders = [cb._values for cb in self._codebooks]
+            out = {}
+            for codes, p in zip(zip(*self._columns), self._probs):
+                out[tuple(dec[c] for dec, c in zip(decoders, codes))] = p
+            if not self._columns:
+                for p in self._probs:
+                    out[()] = p
+            object.__setattr__(self, "_pmf", out)
+        return self._pmf
+
+    def items(self):
+        """Iterate ``(outcome, probability)`` pairs of the support."""
+        return self.pmf.items()
+
+    def get(self, outcome: Outcome, default=0.0):
+        """P[outcome], ``default`` outside the support."""
+        codes = []
+        for cb, value in zip(self._codebooks, tuple(outcome)):
+            code = cb.code(value)
+            if code is None:
+                return default
+            codes.append(code)
+        return self.pmf.get(tuple(outcome), default)
+
+    def probability(self, **fixed: Hashable):
+        """P[variables = values] for a partial assignment (a ``Fraction``
+        in exact mode)."""
+        zero = Fraction(0) if self._exact else 0.0
+        idx = self._indices(list(fixed))
+        want = []
+        for i, (name, value) in zip(idx, fixed.items()):
+            code = self._codebooks[i].code(value)
+            if code is None:
+                return zero
+            want.append((self._columns[i], code))
+        total = zero
+        for row in range(self.num_rows):
+            if all(col[row] == code for col, code in want):
+                total += self._probs[row]
+        return total
+
+    # ------------------------------------------------------------------
+    # Grouped single-pass kernels
+    # ------------------------------------------------------------------
+    def marginal(self, names: Sequence[str]) -> "TableDistribution":
+        """The marginal of the named variables (in that order): one pass
+        over the columns, grouping rows by their projected code tuples."""
+        idx = self._indices(names)
+        cols = [self._columns[i] for i in idx]
+        masses: dict = {}
+        get = masses.get
+        if self._exact:
+            zero = Fraction(0)
+            for key, p in zip(zip(*cols), self._probs):
+                masses[key] = get(key, zero) + p
+        else:
+            for key, p in zip(zip(*cols), self._probs):
+                masses[key] = get(key, 0.0) + p
+        if not cols:
+            masses[()] = sum(self._probs, Fraction(0) if self._exact else 0.0)
+        return self._regroup(tuple(names), idx, masses)
+
+    def _regroup(
+        self, names: tuple[str, ...], idx: list[int], masses: dict
+    ) -> "TableDistribution":
+        """Canonical distribution from grouped code-tuple masses (codes
+        are relative to this distribution's codebooks at ``idx``)."""
+        ordered = sorted(masses)
+        books = []
+        remaps = []
+        for pos, i in enumerate(idx):
+            used = sorted({key[pos] for key in ordered})
+            old = self._codebooks[i]
+            book = Codebook(old._values[c] for c in used)
+            books.append(book)
+            remaps.append({c: new for new, c in enumerate(used)})
+        columns = tuple(
+            array(
+                _typecode_for(len(books[pos])),
+                (remaps[pos][key[pos]] for key in ordered),
+            )
+            for pos in range(len(idx))
+        )
+        if self._exact:
+            probs = tuple(masses[key] for key in ordered)
+        else:
+            probs = array("d", (masses[key] for key in ordered))
+        return TableDistribution._from_canonical(
+            names, tuple(books), columns, probs, self._exact
+        )
+
+    def condition(self, **fixed: Hashable) -> "TableDistribution":
+        """The conditional distribution given variable=value assignments.
+
+        The fixed variables are removed from the result.  Single pass:
+        row filtering preserves canonical order, so no re-sort happens.
+        """
+        idx = self._indices(list(fixed))
+        want = []
+        for i, (name, value) in zip(idx, fixed.items()):
+            code = self._codebooks[i].code(value)
+            if code is None:
+                raise ValueError(
+                    f"conditioning event {fixed!r} has zero probability"
+                )
+            want.append((self._columns[i], code))
+        keep_idx = [
+            i for i, name in enumerate(self.variables) if name not in fixed
+        ]
+        keep_names = tuple(self.variables[i] for i in keep_idx)
+        keep_cols = [self._columns[i] for i in keep_idx]
+        rows = [
+            row
+            for row in range(self.num_rows)
+            if all(col[row] == code for col, code in want)
+        ]
+        if not rows:
+            raise ValueError(
+                f"conditioning event {fixed!r} has zero probability"
+            )
+        mass = sum(self._probs[row] for row in rows)
+        if not self._exact:
+            mass = math.fsum(self._probs[row] for row in rows)
+        if mass <= 0:
+            raise ValueError(
+                f"conditioning event {fixed!r} has zero probability"
+            )
+        masses: dict = {}
+        get = masses.get
+        zero = Fraction(0) if self._exact else 0.0
+        for row in rows:
+            key = tuple(col[row] for col in keep_cols)
+            masses[key] = get(key, zero) + self._probs[row]
+        for key in masses:
+            masses[key] /= mass
+        return self._regroup(keep_names, keep_idx, masses)
+
+    def push_forward(
+        self, new_variables: Sequence[str], func
+    ) -> "TableDistribution":
+        """The map kernel: distribution of ``func(*outcome)``.
+
+        ``func`` receives each row's values and returns the new row (a
+        tuple for several variables, or a bare value for exactly one).
+        One pass; the image rows are grouped and re-interned.
+        """
+        new_variables = tuple(new_variables)
+        single = len(new_variables) == 1
+        decoders = [cb._values for cb in self._codebooks]
+        builder = TableBuilder(new_variables, exact=self._exact)
+        for codes, p in zip(zip(*self._columns), self._probs):
+            image = func(*(dec[c] for dec, c in zip(decoders, codes)))
+            builder.add((image,) if single else tuple(image), p)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Information measures (log-space)
+    # ------------------------------------------------------------------
+    @property
+    def _log_probs(self) -> tuple[float, ...]:
+        """Cached log2-probability column (floats even in exact mode)."""
+        if self._logps is None:
+            logps = tuple(math.log2(p) for p in self._probs)
+            object.__setattr__(self, "_logps", logps)
+        return self._logps
+
+    def _grouped_entropy(self, idx: list[int]) -> float:
+        """H of the marginal on columns ``idx``: group masses accumulate
+        in log space with a log-sum-exp combiner, then H = -Σ 2^L · L."""
+        cols = [self._columns[i] for i in idx]
+        if not cols:
+            return 0.0
+        if self._exact:
+            masses: dict = {}
+            get = masses.get
+            zero = Fraction(0)
+            for key, p in zip(zip(*cols), self._probs):
+                masses[key] = get(key, zero) + p
+            return -math.fsum(
+                float(m) * math.log2(m) for m in masses.values() if m > 0
+            )
+        acc: dict = {}
+        get = acc.get
+        for key, lp in zip(zip(*cols), self._log_probs):
+            prev = get(key)
+            acc[key] = lp if prev is None else _lse2(prev, lp)
+        return -math.fsum(
+            (2.0**lmass) * lmass for lmass in acc.values() if lmass < 0.0
+        )
+
+    def entropy(self, names: Sequence[str], given: Sequence[str] = ()) -> float:
+        """Shannon entropy H(A | B) in bits; H(A) when ``given`` is empty."""
+        names = list(names)
+        given = list(given)
+        if not given:
+            return self._grouped_entropy(self._indices(names))
+        # H(A | B) = H(A, B) - H(B); duplicated names across the groups
+        # are collapsed so H(A | A) = 0 comes out exactly.
+        all_vars = list(dict.fromkeys(names + given))
+        h_joint = self._grouped_entropy(self._indices(all_vars))
+        h_given = self._grouped_entropy(self._indices(given))
+        return h_joint - h_given
+
+    def mutual_information(
+        self,
+        a: Sequence[str],
+        b: Sequence[str],
+        given: Sequence[str] = (),
+    ) -> float:
+        """I(A ; B | C) = H(A | C) - H(A | B, C), in bits."""
+        a, b, given = list(a), list(b), list(given)
+        if set(a) & set(b):
+            raise ValueError("A and B must be disjoint variable groups")
+        h_a_c = self.entropy(a, given=given)
+        h_a_bc = self.entropy(a, given=list(dict.fromkeys(b + given)))
+        value = h_a_c - h_a_bc
+        # Clamp tiny negative float noise: MI is non-negative.
+        return 0.0 if -NORMALIZATION_TOLERANCE < value < 0 else value
+
+    def is_independent(
+        self, a: Sequence[str], b: Sequence[str], given: Sequence[str] = ()
+    ) -> bool:
+        """A ⊥ B | C, decided via I(A;B|C) ~ 0."""
+        return self.mutual_information(a, b, given=given) < 1e-7
+
+    # ------------------------------------------------------------------
+    # Canonical bytes, digest, cache token
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Canonical ``TBLD1`` serialization (pinned in
+        ``docs/infotheory.md``): equal distributions — same variables,
+        rows, and probabilities — serialize to identical bytes
+        regardless of construction order."""
+        if self._bytes is not None:
+            return self._bytes
+        out = bytearray()
+        out += _MAGIC
+        out.append(1 if self._exact else 0)
+        out += len(self.variables).to_bytes(4, "little")
+        for name, book in zip(self.variables, self._codebooks):
+            raw = name.encode("utf-8")
+            out += len(raw).to_bytes(4, "little") + raw
+            out += len(book).to_bytes(4, "little")
+            for value in book._values:
+                blob = _canon_value(value)
+                out += len(blob).to_bytes(4, "little") + blob
+        out += self.num_rows.to_bytes(4, "little")
+        for book, column in zip(self._codebooks, self._columns):
+            width = _typecode_for(len(book))
+            out += width.encode("ascii")
+            out += array(width, column).tobytes()
+        if self._exact:
+            for p in self._probs:
+                out += _canon_value(p.numerator) + _canon_value(p.denominator)
+        else:
+            out += array("d", self._probs).tobytes()
+        blob = bytes(out)
+        object.__setattr__(self, "_bytes", blob)
+        return blob
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TableDistribution":
+        """Reconstruct from :meth:`to_bytes`.
+
+        Only round-trippable value tags decode (ints, floats, strings,
+        bytes, bools, None, tuples, frozensets); distributions holding
+        opaque interned objects are content-addressed but not
+        reconstructible, and raise.
+        """
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a TBLD1 distribution")
+        pos = len(_MAGIC)
+        exact = blob[pos] == 1
+        pos += 1
+        nvars = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        names = []
+        books = []
+        for _ in range(nvars):
+            n = int.from_bytes(blob[pos : pos + 4], "little")
+            pos += 4
+            names.append(blob[pos : pos + n].decode("utf-8"))
+            pos += n
+            ncodes = int.from_bytes(blob[pos : pos + 4], "little")
+            pos += 4
+            values = []
+            for _ in range(ncodes):
+                n = int.from_bytes(blob[pos : pos + 4], "little")
+                pos += 4
+                values.append(_decode_value(blob[pos : pos + n]))
+                pos += n
+            books.append(Codebook(values))
+        nrows = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        columns = []
+        for book in books:
+            width = chr(blob[pos])
+            pos += 1
+            col = array(width)
+            nbytes = nrows * col.itemsize
+            col.frombytes(blob[pos : pos + nbytes])
+            pos += nbytes
+            columns.append(col)
+        if exact:
+            probs = []
+            for _ in range(nrows):
+                if blob[pos : pos + 1] != b"I":
+                    raise ValueError("corrupt exact probability column")
+                n = int.from_bytes(blob[pos + 1 : pos + 5], "little")
+                num = _decode_value(blob[pos : pos + 5 + n])
+                pos += 5 + n
+                n = int.from_bytes(blob[pos + 1 : pos + 5], "little")
+                den = _decode_value(blob[pos : pos + 5 + n])
+                pos += 5 + n
+                probs.append(Fraction(num, den))
+            probs = tuple(probs)
+        else:
+            probs = array("d")
+            probs.frombytes(blob[pos : pos + nrows * 8])
+        return cls._from_canonical(
+            tuple(names), tuple(books), tuple(columns), probs, exact
+        )
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`to_bytes` — the content address."""
+        if self._digest is None:
+            object.__setattr__(
+                self, "_digest", hashlib.sha256(self.to_bytes()).hexdigest()
+            )
+        return self._digest
+
+    @property
+    def cache_token(self) -> str:
+        """Fingerprint consumed by ``engine.cache_key`` when a
+        distribution appears in a construction-cache parameter tuple."""
+        return f"table-dist:{self.digest}"
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "variables": self.variables,
+            "values": tuple(cb._values for cb in self._codebooks),
+            "columns": self._columns,
+            "probs": self._probs,
+            "exact": self._exact,
+        }
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "variables", state["variables"])
+        object.__setattr__(
+            self,
+            "_codebooks",
+            tuple(Codebook(values) for values in state["values"]),
+        )
+        object.__setattr__(self, "_columns", state["columns"])
+        object.__setattr__(self, "_probs", state["probs"])
+        object.__setattr__(self, "_exact", state["exact"])
+        object.__setattr__(self, "_bytes", None)
+        object.__setattr__(self, "_digest", None)
+        object.__setattr__(self, "_logps", None)
+        object.__setattr__(self, "_pmf", None)
+
+    def __reduce__(self):
+        return (_unpickle_table, (self.__getstate__(),))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TableDistribution):
+            return NotImplemented
+        return (
+            self.variables == other.variables
+            and self._exact == other._exact
+            and self._columns == other._columns
+            and tuple(self._probs) == tuple(other._probs)
+            and tuple(cb._values for cb in self._codebooks)
+            == tuple(cb._values for cb in other._codebooks)
+        )
+
+    def __hash__(self) -> int:
+        return int.from_bytes(
+            hashlib.sha256(self.to_bytes()).digest()[:8], "little", signed=True
+        )
+
+    def __repr__(self) -> str:
+        mode = "exact" if self._exact else "float"
+        return (
+            f"TableDistribution(variables={self.variables}, "
+            f"rows={self.num_rows}, {mode}, digest={self.digest[:12]})"
+        )
+
+
+def _unpickle_table(state) -> TableDistribution:
+    self = object.__new__(TableDistribution)
+    self.__setstate__(state)
+    return self
+
+
+# ----------------------------------------------------------------------
+# Incremental builder
+# ----------------------------------------------------------------------
+class TableBuilder:
+    """Appends rows column-wise, interning values on the fly.
+
+    The lemma checkers stream enumeration outcomes straight into the
+    builder — per-variable code lists plus one weight list — and
+    :meth:`build` canonicalizes once: codebooks re-sorted by canonical
+    value bytes, rows sorted lexicographically, duplicates merged, zero
+    rows dropped, weights validated (or normalized).
+    """
+
+    def __init__(self, variables: Sequence[str], *, exact: bool = False) -> None:
+        self.variables = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(
+                f"duplicate variable names in {self.variables!r}"
+            )
+        self.exact = exact
+        self._books = tuple(Codebook() for _ in self.variables)
+        self._cols: tuple[list[int], ...] = tuple([] for _ in self.variables)
+        self._weights: list = []
+
+    def add(self, row: Outcome, weight=1.0) -> None:
+        """Append one outcome row with the given probability weight."""
+        row = tuple(row)
+        if len(row) != len(self.variables):
+            raise ValueError(
+                f"outcome {row!r} has arity {len(row)}, expected "
+                f"{len(self.variables)} for variables {self.variables!r}"
+            )
+        for book, col, value in zip(self._books, self._cols, row):
+            col.append(book.intern(value))
+        self._weights.append(Fraction(weight) if self.exact else weight)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def build(self, *, normalize: bool = False) -> TableDistribution:
+        """Canonicalize and freeze into a :class:`TableDistribution`."""
+        exact = self.exact
+        zero = Fraction(0) if exact else 0.0
+        tolerance = 0 if exact else NORMALIZATION_TOLERANCE
+        for w in self._weights:
+            if w < -tolerance:
+                raise ValueError(f"negative probability {w}")
+        # Canonical code order per variable: sort interned values by
+        # their canonical bytes, remap the appended codes.
+        remaps = []
+        sorted_values = []
+        for book in self._books:
+            order = sorted(
+                range(len(book)), key=lambda c: _canon_value(book._values[c])
+            )
+            remap = [0] * len(book)
+            for new, old in enumerate(order):
+                remap[old] = new
+            remaps.append(remap)
+            sorted_values.append([book._values[c] for c in order])
+        # Group rows by remapped code tuples (merging duplicates).
+        masses: dict = {}
+        get = masses.get
+        for codes, w in zip(zip(*self._cols), self._weights):
+            if w <= 0:
+                continue
+            key = tuple(remap[c] for remap, c in zip(remaps, codes))
+            masses[key] = get(key, zero) + w
+        if not self.variables:
+            total_weight = sum(
+                (w for w in self._weights if w > 0), zero
+            )
+            if total_weight > 0:
+                masses[()] = total_weight
+        if exact:
+            total = sum(masses.values(), zero)
+        else:
+            total = math.fsum(masses.values())
+        if normalize:
+            if total <= 0:
+                raise ValueError("cannot normalize an all-zero pmf")
+            for key in masses:
+                masses[key] /= total
+        elif abs(total - 1) > tolerance:
+            raise ValueError(f"pmf sums to {total}, expected 1")
+        ordered = sorted(masses)
+        # Drop codebook entries no surviving row uses, keeping order.
+        books = []
+        final_remaps = []
+        for pos, values in enumerate(sorted_values):
+            used = sorted({key[pos] for key in ordered})
+            books.append(Codebook(values[c] for c in used))
+            final_remaps.append({c: new for new, c in enumerate(used)})
+        columns = tuple(
+            array(
+                _typecode_for(len(books[pos])),
+                (final_remaps[pos][key[pos]] for key in ordered),
+            )
+            for pos in range(len(self.variables))
+        )
+        if exact:
+            probs = tuple(masses[key] for key in ordered)
+        else:
+            probs = array("d", (float(masses[key]) for key in ordered))
+        return TableDistribution._from_canonical(
+            self.variables, tuple(books), columns, probs, exact
+        )

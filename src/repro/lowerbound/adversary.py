@@ -22,6 +22,7 @@ from ..graphs import (
     is_maximal_matching,
     is_valid_matching,
 )
+from ..infotheory import TableDistribution
 from ..model import PublicCoins, SketchProtocol, run_protocol
 from .claims import count_unique_unique
 from .distribution import DMMInstance, sample_dmm_family
@@ -137,6 +138,46 @@ def _attack(hard, protocol, trials, seed, mis, engine=None) -> AttackResult:
         max_bits=max_bits,
         mean_bits=bits_total / trials,
     )
+
+
+def _information_trial(item: tuple) -> tuple[int, tuple]:
+    """One (J, Π) sample (module-level so process pools can run it)."""
+    instance, coins_seed, protocol = item
+    run = run_protocol(
+        instance.graph, protocol, PublicCoins(seed=coins_seed), n=instance.hard.n
+    )
+    transcript = tuple(
+        run.transcript.sketches[v] for v in sorted(run.transcript.sketches)
+    )
+    return instance.j_star, transcript
+
+
+def empirical_information(
+    hard: HardDistribution,
+    protocol: SketchProtocol,
+    trials: int,
+    seed: int = 0,
+    engine: ExecutionEngine | None = None,
+) -> float:
+    """Plug-in estimate of I(J ; Π) — the Monte-Carlo face of Lemma 3.3.
+
+    Samples (special index, full transcript) pairs from D_MM runs of the
+    protocol and computes mutual information on the empirical columnar
+    :class:`TableDistribution` (transcript message tuples are interned
+    once into codebook entries, so the estimate scales with the number
+    of *distinct* transcripts, not with ``trials``).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    engine = resolve_engine(engine)
+    instances = sample_dmm_family(hard, trials, seed)
+    items = [
+        (instance, derive_seed(seed, "attack-coins", trial), protocol)
+        for trial, instance in enumerate(instances)
+    ]
+    samples = engine.map(_information_trial, items)
+    dist = TableDistribution.from_samples(("J", "Pi"), samples)
+    return dist.mutual_information(["J"], ["Pi"])
 
 
 @dataclass(frozen=True)

@@ -104,3 +104,26 @@ def max_to_average_gap(profile: CostProfile) -> float:
     if profile.mean == 0:
         return 1.0
     return profile.max / profile.mean
+
+
+def cost_profile_entropy(profile: CostProfile) -> float:
+    """Entropy (bits) of the normalized cost-share distribution.
+
+    Treat each player's share of the total expected cost as a
+    probability and measure its entropy on a columnar
+    :class:`~repro.infotheory.table.TableDistribution`: a perfectly
+    symmetric profile hits the ``log2 n`` maximum, and any positional
+    asymmetry shows up as missing entropy — a scalar convergence
+    diagnostic to report next to :func:`max_to_average_gap`.
+    """
+    from ..infotheory import TableDistribution
+
+    shares = {
+        (v,): bits
+        for v, bits in profile.mean_bits_per_player.items()
+        if bits > 0
+    }
+    if not shares:
+        return 0.0
+    dist = TableDistribution(("player",), shares, normalize=True)
+    return dist.entropy(["player"])

@@ -10,6 +10,7 @@ tests sweep k·r and assert exact <= claimed).
 from __future__ import annotations
 
 import math
+from fractions import Fraction
 from functools import lru_cache
 
 
@@ -37,6 +38,43 @@ def binomial_tail_below(n: int, p: float, threshold: float) -> float:
     return sum(binomial_pmf(n, p, k) for k in range(0, min(upper, n) + 1))
 
 
+def binomial_distribution(n: int, p, *, exact: bool = False):
+    """Bin(n, p) as a columnar ``TableDistribution`` over variable "S".
+
+    With ``exact=True``, ``p`` is interpreted as a rational (e.g.
+    ``Fraction(1, 2)`` for Claim 3.1's survival coin) and every pmf
+    value is an exact ``Fraction`` — the binomial identity
+    Σ_k C(n,k) p^k (1-p)^(n-k) = 1 then holds with zero slack, which is
+    what the exact Claim 3.1 tail is summed from.
+    """
+    from ..infotheory import TableDistribution
+
+    if exact:
+        pq = Fraction(p)
+        pmf = {
+            (k,): math.comb(n, k) * pq**k * (1 - pq) ** (n - k)
+            for k in range(n + 1)
+        }
+        return TableDistribution(("S",), pmf, exact=True)
+    pmf = {(k,): binomial_pmf(n, p, k) for k in range(n + 1)}
+    return TableDistribution(("S",), pmf, normalize=True)
+
+
+def binomial_tail_below_exact(n: int, p, threshold: float) -> Fraction:
+    """P[Bin(n, p) < threshold] as an exact rational."""
+    upper = math.ceil(threshold) - 1
+    if upper < 0:
+        return Fraction(0)
+    pq = Fraction(p)
+    return sum(
+        (
+            math.comb(n, k) * pq**k * (1 - pq) ** (n - k)
+            for k in range(0, min(upper, n) + 1)
+        ),
+        Fraction(0),
+    )
+
+
 def chernoff_lower_tail(n: int, p: float, delta: float) -> float:
     """The multiplicative Chernoff bound
     P[X < (1 - delta) * n * p] <= exp(-delta^2 * n * p / 2)."""
@@ -45,8 +83,14 @@ def chernoff_lower_tail(n: int, p: float, delta: float) -> float:
     return math.exp(-(delta**2) * n * p / 2.0)
 
 
-def claim31_tail_exact(kr: int) -> float:
-    """The exact probability that fewer than k·r/3 special edges survive."""
+def claim31_tail_exact(kr: int, *, exact: bool = False):
+    """The exact probability that fewer than k·r/3 special edges survive.
+
+    ``exact=True`` returns the tail as a ``Fraction`` (summed from the
+    rational binomial pmf) instead of a log-space float sum.
+    """
+    if exact:
+        return binomial_tail_below_exact(kr, Fraction(1, 2), kr / 3.0)
     return binomial_tail_below(kr, 0.5, kr / 3.0)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from ..infotheory import Codebook
 from .distribution import (
     DMMInstance,
     enumerate_indicator_tables,
@@ -189,8 +190,13 @@ def optimal_success(
     # Transcripts are grouped by a packed key: with <= 2^b <= 256 blocks
     # per player, one byte per player (mirroring the packed Message
     # payloads of the runtime codec) hashes far faster than a tuple of
-    # ints; beyond 8 bits per message fall back to tuples.
+    # ints; beyond 8 bits per message fall back to tuples.  The packed
+    # keys are then interned through an infotheory ``Codebook``, so the
+    # per-strategy grouping dict hashes small ints instead of re-hashing
+    # the byte strings — the same trick the columnar distribution kernel
+    # uses for outcome values.
     pack_transcript: type = bytes if bits <= 8 else tuple
+    transcript_codes = Codebook()
 
     best = 0.0
     for joint in itertools.product(*per_player_strategies):
@@ -198,8 +204,10 @@ def optimal_success(
         # Group outcomes by (j*, transcript); Bayes referee per group.
         groups: dict[tuple, list[int]] = {}
         for idx, inst in enumerate(outcomes):
-            transcript = pack_transcript(
-                strategy[v][outcome_views[idx][v]] for v in players
+            transcript = transcript_codes.intern(
+                pack_transcript(
+                    strategy[v][outcome_views[idx][v]] for v in players
+                )
             )
             groups.setdefault((inst.j_star, transcript), []).append(idx)
         success = 0.0

@@ -26,10 +26,11 @@ The checkers below compute both sides of each, for any protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from functools import cached_property
 
 from ..graphs import is_maximal_matching, normalize_edge
-from ..infotheory import JointDistribution
+from ..infotheory import JointDistribution, TableBuilder, TableDistribution
 from ..model import PublicCoins, SketchProtocol
 from .distribution import (
     DMMInstance,
@@ -42,12 +43,19 @@ from .players import player_split, vertex_player_views
 
 @dataclass(frozen=True)
 class ExactAnalysis:
-    """The exact joint distribution plus derived lemma quantities."""
+    """The exact joint distribution plus derived lemma quantities.
+
+    ``dist`` is a columnar :class:`TableDistribution` by default (the
+    dict :class:`JointDistribution` oracle when built with
+    ``kernel="reference"``); both expose the same API, so every lemma
+    quantity below is kernel-agnostic.  In exact mode ``expected_mu``
+    and ``error_probability`` are :class:`~fractions.Fraction`.
+    """
 
     hard: HardDistribution
-    dist: JointDistribution
-    expected_mu: float  # E |M^U_π|
-    error_probability: float  # Pr[output is not a valid maximal matching]
+    dist: TableDistribution | JointDistribution
+    expected_mu: float | Fraction  # E |M^U_π|
+    error_probability: float | Fraction  # Pr[output not maximal matching]
     worst_case_bits: int  # max message length over players and outcomes
 
     # ------------------------------------------------------------------
@@ -151,12 +159,27 @@ def analyze_protocol(
     protocol: SketchProtocol,
     coins: PublicCoins,
     sigma: tuple[int, ...] | None = None,
+    *,
+    kernel: str = "table",
+    exact: bool = False,
 ) -> ExactAnalysis:
     """Enumerate the joint distribution of one deterministic protocol.
 
     ``coins`` fixes the public randomness (Yao averaging); ``sigma``
-    defaults to the identity permutation.
+    defaults to the identity permutation.  ``kernel`` selects the
+    distribution implementation — ``"table"`` streams each enumerated
+    outcome straight into columnar :class:`TableBuilder` rows (interned
+    message codes, no tuple pmf is ever materialized), while
+    ``"reference"`` rebuilds the original dict pmf for differential
+    checks.  ``exact`` (table kernel only) keeps every probability a
+    :class:`~fractions.Fraction` — each outcome has exact mass
+    ``1 / (t · 2^(k·t·r))``, so expected values and lemma inputs carry
+    no float rounding.
     """
+    if exact and kernel != "table":
+        raise ValueError("exact mode requires the table kernel")
+    if kernel not in ("table", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     if sigma is None:
         sigma = identity_sigma(hard)
     k, t, r, n = hard.k, hard.t, hard.r, hard.n
@@ -165,11 +188,15 @@ def analyze_protocol(
     names = ["J", *m_names, "PiP", *[f"PiU_{i}" for i in range(k)], "O", "MU"]
 
     pmf: dict[tuple, float] = {}
-    expected_mu = 0.0
-    error_prob = 0.0
+    builder = TableBuilder(names, exact=exact) if kernel == "table" else None
+    zero = Fraction(0) if exact else 0.0
+    expected_mu = zero
+    error_prob = zero
     worst_bits = 0
     tables = list(enumerate_indicator_tables(hard))
-    prob = 1.0 / (t * len(tables))
+    prob = (
+        Fraction(1, t * len(tables)) if exact else 1.0 / (t * len(tables))
+    )
 
     for j_star in range(t):
         for table in tables:
@@ -225,9 +252,18 @@ def analyze_protocol(
                 1 if correct else 0,
                 mu,
             )
-            pmf[outcome] = pmf.get(outcome, 0.0) + prob
+            if builder is not None:
+                # Every (j*, indicator table) pair is a distinct row (the
+                # indicators are part of the outcome), so rows stream in
+                # with uniform weight and merge trivially at build().
+                builder.add(outcome, prob)
+            else:
+                pmf[outcome] = pmf.get(outcome, 0.0) + prob
 
-    dist = JointDistribution(names, pmf)
+    if builder is not None:
+        dist = builder.build()
+    else:
+        dist = JointDistribution(names, pmf)
     return ExactAnalysis(
         hard=hard,
         dist=dist,

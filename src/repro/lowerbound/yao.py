@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from fractions import Fraction
 
 from ..model import PublicCoins, SketchProtocol, run_protocol
 from .adversary import matching_strict_check
@@ -25,9 +26,15 @@ from .params import HardDistribution
 
 @dataclass(frozen=True)
 class CoinFixing:
-    """Success rates of a protocol per fixed public-coin seed."""
+    """Success rates of a protocol per fixed public-coin seed.
 
-    per_seed: dict[int, float]
+    Rates are floats by default; ``best_coin_fixing(..., exact=True)``
+    stores them as :class:`~fractions.Fraction` (``ok / trials``), so
+    the averaging inequality ``best >= average`` is checked on exact
+    rationals with no float ties.
+    """
+
+    per_seed: dict[int, float | Fraction]
     trials: int
 
     @property
@@ -50,21 +57,27 @@ def best_coin_fixing(
     trials: int,
     instance_seed: int = 0,
     check=matching_strict_check,
+    *,
+    exact: bool = False,
 ) -> CoinFixing:
     """Evaluate the protocol under each fixed coin seed on the *same*
-    sampled inputs (shared inputs isolate the coins' contribution)."""
+    sampled inputs (shared inputs isolate the coins' contribution).
+
+    With ``exact=True`` the per-seed success rates are exact rationals
+    ``Fraction(ok, trials)`` instead of floats.
+    """
     if not seeds:
         raise ValueError("need at least one candidate seed")
     if trials <= 0:
         raise ValueError("trials must be positive")
     rng = random.Random(instance_seed)
     instances = [sample_dmm(hard, rng) for _ in range(trials)]
-    per_seed: dict[int, float] = {}
+    per_seed: dict[int, float | Fraction] = {}
     for seed in seeds:
         coins = PublicCoins(seed=seed)
         ok = sum(
             check(inst, run_protocol(inst.graph, protocol, coins, n=hard.n).output)
             for inst in instances
         )
-        per_seed[seed] = ok / trials
+        per_seed[seed] = Fraction(ok, trials) if exact else ok / trials
     return CoinFixing(per_seed=per_seed, trials=trials)

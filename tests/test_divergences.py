@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.infotheory import (
     JointDistribution,
+    TableDistribution,
     fano_error_lower_bound,
     kl_divergence,
     mutual_information_via_kl,
@@ -17,6 +18,12 @@ from repro.infotheory import (
     pinsker_bound,
     product_of_marginals,
     total_variation,
+)
+
+# The divergence helpers are generic over both kernels; parametrize the
+# edge-case tests so the oracle and the columnar kernel stay in lockstep.
+KERNELS = pytest.mark.parametrize(
+    "make", [JointDistribution, TableDistribution], ids=["reference", "table"]
 )
 
 
@@ -62,6 +69,56 @@ class TestKL:
         assert kl_divergence(p, q) >= 0.0
 
 
+class TestKLZeroMassEdgeCases:
+    """Zero-probability outcomes on either side, for both kernels."""
+
+    @KERNELS
+    def test_p_outside_q_support_is_infinite(self, make):
+        p = make(("x",), {(0,): 0.5, (1,): 0.5})
+        q = make(("x",), {(0,): 1.0, (1,): 0.0})
+        # The zero row is dropped from q's support, so p charges an
+        # outcome q cannot produce: D(p || q) = +inf.
+        assert (1,) not in q.support()
+        assert math.isinf(kl_divergence(p, q))
+
+    @KERNELS
+    def test_q_only_outcomes_contribute_zero(self, make):
+        # 0 * log(0/q) = 0: outcomes where only q has mass are ignored,
+        # so the divergence stays finite (and here equals log2(1/0.5)).
+        p = make(("x",), {(0,): 1.0, (1,): 0.0})
+        q = make(("x",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence(p, q) == pytest.approx(1.0)
+
+    @KERNELS
+    def test_explicit_zero_rows_match_absent_rows(self, make):
+        with_zero = make(("x",), {(0,): 0.25, (1,): 0.75, (2,): 0.0})
+        without = make(("x",), {(0,): 0.25, (1,): 0.75})
+        q = make(("x",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence(with_zero, q) == pytest.approx(
+            kl_divergence(without, q)
+        )
+
+    @KERNELS
+    def test_self_divergence_exactly_zero(self, make):
+        rng = random.Random(7)
+        weights = {(k,): rng.random() + 0.01 for k in range(5)}
+        total = sum(weights.values())
+        p = make(("x",), {o: w / total for o, w in weights.items()})
+        # Every term is p * log2(p/p) = 0.0 exactly — not just approx.
+        assert kl_divergence(p, p) == 0.0
+
+    def test_cross_kernel_agreement(self):
+        pmf_p = {(0,): 0.6, (1,): 0.4}
+        pmf_q = {(0,): 0.3, (1,): 0.7}
+        ref = kl_divergence(
+            JointDistribution(("x",), pmf_p), JointDistribution(("x",), pmf_q)
+        )
+        tab = kl_divergence(
+            TableDistribution(("x",), pmf_p), TableDistribution(("x",), pmf_q)
+        )
+        assert tab == pytest.approx(ref, abs=1e-12)
+
+
 class TestTVAndPinsker:
     def test_tv_identical(self):
         p = bernoulli("x", 0.4)
@@ -77,6 +134,22 @@ class TestTVAndPinsker:
         q = bernoulli("x", 0.7)
         assert total_variation(p, q) == pytest.approx(total_variation(q, p))
         assert total_variation(p, q) == pytest.approx(0.5)
+
+    @KERNELS
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_tv_symmetric_randomized(self, make, seed):
+        rng = random.Random(seed)
+
+        def rand(offset):
+            weights = {(k,): rng.random() + 1e-6 for k in range(4)}
+            total = sum(weights.values())
+            return make(("x",), {o: w / total for o, w in weights.items()})
+
+        p, q = rand(0), rand(1)
+        assert total_variation(p, q) == pytest.approx(
+            total_variation(q, p), abs=1e-12
+        )
 
     @given(st.integers(0, 200))
     @settings(max_examples=30, deadline=None)

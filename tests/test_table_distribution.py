@@ -1,0 +1,251 @@
+"""Tests for the columnar TableDistribution kernel."""
+
+import math
+import pickle
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.infotheory import (
+    Codebook,
+    NORMALIZATION_TOLERANCE,
+    TableBuilder,
+    TableDistribution,
+)
+
+
+def xor_triple() -> TableDistribution:
+    outcomes = [(a, b, a ^ b) for a in (0, 1) for b in (0, 1)]
+    return TableDistribution.uniform(("a", "b", "c"), outcomes)
+
+
+class TestCodebook:
+    def test_intern_is_idempotent(self):
+        book = Codebook()
+        assert book.intern("x") == 0
+        assert book.intern("y") == 1
+        assert book.intern("x") == 0
+        assert len(book) == 2
+        assert book.value(1) == "y"
+        assert "x" in book and "z" not in book
+
+    def test_code_of_unknown_is_none(self):
+        assert Codebook(["a"]).code("b") is None
+
+
+class TestConstruction:
+    def test_rejects_wrong_arity_with_names(self):
+        with pytest.raises(ValueError, match=r"arity 2.*\('a',\)"):
+            TableDistribution(("a",), {(0, 1): 1.0})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            TableDistribution(("a",), {(0,): -0.5, (1,): 1.5})
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="sums to"):
+            TableDistribution(("a",), {(0,): 0.7})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate variable names"):
+            TableDistribution(("a", "a"), {(0, 0): 1.0})
+
+    def test_normalize_flag(self):
+        d = TableDistribution(("a",), {(0,): 2.0, (1,): 2.0}, normalize=True)
+        assert d.probability(a=0) == pytest.approx(0.5)
+
+    def test_zero_rows_dropped(self):
+        d = TableDistribution(("a",), {(0,): 1.0, (1,): 0.0})
+        assert d.support() == {(0,)}
+        assert d.num_rows == 1
+
+    def test_duplicate_rows_merge(self):
+        builder = TableBuilder(("a",))
+        for _ in range(4):
+            builder.add((0,), 0.25)
+        d = builder.build()
+        assert d.num_rows == 1
+        assert d.probability(a=0) == pytest.approx(1.0)
+
+    def test_from_samples(self):
+        d = TableDistribution.from_samples(("x",), [(0,), (0,), (1,), (1,)])
+        assert d.probability(x=0) == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="no samples"):
+            TableDistribution.from_samples(("x",), [])
+
+    def test_immutability(self):
+        d = xor_triple()
+        with pytest.raises(AttributeError):
+            d.variables = ("x",)
+
+
+class TestKernels:
+    def test_marginal_order_and_values(self):
+        m = xor_triple().marginal(["c", "a"])
+        assert m.variables == ("c", "a")
+        assert m.probability(c=0, a=1) == pytest.approx(0.25)
+
+    def test_condition(self):
+        c = xor_triple().condition(a=1)
+        assert c.variables == ("b", "c")
+        assert c.probability(b=1, c=0) == pytest.approx(0.5)
+
+    def test_condition_zero_probability(self):
+        with pytest.raises(ValueError, match="zero probability"):
+            xor_triple().condition(a=7)
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            xor_triple().marginal(["z"])
+        with pytest.raises(KeyError):
+            xor_triple().probability(z=0)
+
+    def test_probability_partial(self):
+        assert xor_triple().probability(a=0) == pytest.approx(0.5)
+        assert xor_triple().probability(a=0, c=3) == 0.0
+
+    def test_support_projection(self):
+        d = xor_triple()
+        assert d.support(["c"]) == {(0,), (1,)}
+        assert len(d.support()) == 4
+
+    def test_push_forward(self):
+        s = xor_triple().push_forward(("sum",), lambda a, b, c: a + b + c)
+        assert s.variables == ("sum",)
+        assert s.probability(sum=0) == pytest.approx(0.25)
+        assert s.probability(sum=2) == pytest.approx(0.75)
+
+    def test_get_and_items(self):
+        d = xor_triple()
+        assert d.get((0, 1, 1)) == pytest.approx(0.25)
+        assert d.get((0, 1, 0)) == 0.0
+        assert math.fsum(p for _, p in d.items()) == pytest.approx(1.0)
+
+
+class TestInformation:
+    def test_entropy_and_mi(self):
+        d = xor_triple()
+        assert d.entropy(["a", "b"]) == pytest.approx(2.0)
+        assert d.entropy(["a"], given=["a"]) == pytest.approx(0.0)
+        assert d.mutual_information(["a"], ["c"]) == pytest.approx(0.0)
+        assert d.mutual_information(["a"], ["c"], given=["b"]) == pytest.approx(1.0)
+        assert d.is_independent(["a"], ["c"])
+        assert not d.is_independent(["a"], ["c"], given=["b"])
+
+    def test_mi_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            xor_triple().mutual_information(["a"], ["a"])
+
+    def test_log_space_small_probabilities(self):
+        # Masses around 2^-520 underflow any linear-space accumulator;
+        # the grouped log-sum-exp keeps the entropy of the normalized
+        # distribution exact.
+        tiny = 2.0**-520
+        d = TableDistribution(
+            ("x",), {(0,): tiny, (1,): tiny}, normalize=True
+        )
+        assert d.entropy(["x"]) == pytest.approx(1.0)
+
+
+class TestExactMode:
+    def test_fraction_probabilities(self):
+        d = TableDistribution(
+            ("x",), {(0,): Fraction(1, 3), (1,): Fraction(2, 3)}, exact=True
+        )
+        assert d.exact
+        assert d.probability(x=0) == Fraction(1, 3)
+        assert isinstance(d.probability(x=0), Fraction)
+
+    def test_exact_marginal_condition(self):
+        pmf = {
+            (a, b): Fraction(1, 4) for a in (0, 1) for b in (0, 1)
+        }
+        d = TableDistribution(("a", "b"), pmf, exact=True)
+        assert d.marginal(["a"]).probability(a=0) == Fraction(1, 2)
+        assert d.condition(a=0).probability(b=1) == Fraction(1, 2)
+
+    def test_exact_sums_to_exactly_one(self):
+        pmf = {(k,): Fraction(1, 7) for k in range(7)}
+        d = TableDistribution(("x",), pmf, exact=True)
+        assert sum(p for _, p in d.items()) == 1
+
+    def test_exact_rejects_offbyone(self):
+        with pytest.raises(ValueError, match="sums to"):
+            TableDistribution(
+                ("x",), {(0,): Fraction(1, 3), (1,): Fraction(1, 3)}, exact=True
+            )
+
+
+class TestCanonicalBytes:
+    def test_digest_order_invariant(self):
+        outcomes = [(a, b, a ^ b) for a in (0, 1) for b in (0, 1)]
+        d1 = TableDistribution.uniform(("a", "b", "c"), outcomes)
+        d2 = TableDistribution.uniform(("a", "b", "c"), list(reversed(outcomes)))
+        assert d1 == d2
+        assert d1.digest == d2.digest
+        assert hash(d1) == hash(d2)
+
+    def test_bytes_roundtrip(self):
+        d = xor_triple()
+        back = TableDistribution.from_bytes(d.to_bytes())
+        assert back == d
+        assert back.digest == d.digest
+        assert back.pmf == d.pmf
+
+    def test_bytes_roundtrip_heterogeneous(self):
+        d = TableDistribution.uniform(
+            ("x",), [(None,), (True,), (1.5,), ("s",), ((1, 2),), (b"\x01",)]
+        )
+        back = TableDistribution.from_bytes(d.to_bytes())
+        assert back.pmf == d.pmf
+
+    def test_exact_bytes_roundtrip(self):
+        d = TableDistribution(
+            ("x",), {(0,): Fraction(1, 3), (1,): Fraction(2, 3)}, exact=True
+        )
+        back = TableDistribution.from_bytes(d.to_bytes())
+        assert back.exact
+        assert back.probability(x=1) == Fraction(2, 3)
+        assert back.digest == d.digest
+
+    def test_cache_token_shape(self):
+        d = xor_triple()
+        assert d.cache_token == f"table-dist:{d.digest}"
+
+    def test_cache_token_feeds_engine_cache_key(self):
+        from repro.engine.cache import cache_key
+
+        d1 = xor_triple()
+        d2 = TableDistribution.uniform(
+            ("a", "b", "c"),
+            list(reversed([(a, b, a ^ b) for a in (0, 1) for b in (0, 1)])),
+        )
+        assert cache_key(("x", d1)) == cache_key(("x", d2))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TableDistribution.from_bytes(b"nope")
+
+    def test_pickle_roundtrip_with_opaque_values(self):
+        from repro.model import BitWriter
+
+        writer = BitWriter()
+        writer.write_uint(0b101, 3)
+        msg = writer.to_message()
+        d = TableDistribution.uniform(("m", "x"), [(msg, 0), (msg, 1)])
+        back = pickle.loads(pickle.dumps(d))
+        assert back == d
+        assert back.digest == d.digest
+        assert back.probability(m=msg, x=0) == pytest.approx(0.5)
+
+
+class TestRandomizedAgainstDirectFormulas:
+    def test_entropy_matches_direct_sum(self):
+        rng = random.Random(11)
+        weights = {(k,): rng.random() + 0.01 for k in range(9)}
+        total = sum(weights.values())
+        pmf = {o: w / total for o, w in weights.items()}
+        d = TableDistribution(("x",), pmf, normalize=True)
+        direct = -sum(p * math.log2(p) for p in pmf.values())
+        assert d.entropy(["x"]) == pytest.approx(direct, abs=1e-12)
