@@ -1,4 +1,4 @@
-.PHONY: install test bench report examples all
+.PHONY: install test bench bench-sketches report examples all
 
 install:
 	pip install -e .
@@ -8,6 +8,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-sketches:
+	python benchmarks/bench_sketches.py --out BENCH_sketches.json
 
 report:
 	python scripts/run_experiments.py

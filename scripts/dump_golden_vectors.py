@@ -36,10 +36,15 @@ from repro.graphs.builders import erdos_renyi, two_random_components_with_bridge
 from repro.model import PublicCoins, run_protocol
 from repro.protocols.registry import make_protocol
 from repro.sketches import (
+    AGMConnectivity,
     AGMSpanningForest,
     ConnectivityCertificate,
     CrossingEdgeProtocol,
+    DegeneracySketch,
+    DensestSubgraphSketch,
     PaletteSparsificationColoring,
+    PrivateCoinColoring,
+    TriangleCountSketch,
 )
 
 SEED = 2020
@@ -141,10 +146,61 @@ def build_golden() -> dict:
     cases["family/certificate"] = record_run(
         shared_graph, ConnectivityCertificate(k=2), coins
     )
+    cases["family/connectivity"] = record_run(
+        bridge_graph, AGMConnectivity(), coins
+    )
+    cases["family/private-coloring"] = record_run(
+        shared_graph, PrivateCoinColoring(max_degree), coins
+    )
+    cases["family/densest"] = record_run(
+        shared_graph, DensestSubgraphSketch(0.5), coins
+    )
+    cases["family/degeneracy"] = record_run(
+        shared_graph, DegeneracySketch(0.5), coins
+    )
+    cases["family/triangles"] = record_run(
+        shared_graph, TriangleCountSketch(0.5), coins
+    )
     return {
         "seed": SEED,
         "graph": "erdos_renyi(12, 0.35, Random(7)) / bridge(5, 0.8, Random(11))",
         "cases": cases,
+        "sketch_states": build_sketch_states(coins, bridge_graph),
+    }
+
+
+def build_sketch_states(coins, graph) -> dict:
+    """Pin the raw columnar sketch states (pre-serialization).
+
+    The message goldens pin the wire bits; this section pins the
+    construction arithmetic itself — every cell of every player's
+    totals / index-sums / fingerprints columns for a small two-label
+    incidence family, built by the batched CSR pass.  A change to the
+    level hash, the fingerprint power tables, or the update signs shows
+    up here even if it happens to cancel on the wire.
+    """
+    from repro.sketches import L0Config, SketchFamily
+
+    frozen = graph.freeze()
+    n = frozen.num_vertices()
+    family = SketchFamily.incidence(
+        L0Config.for_universe(n * n),
+        coins,
+        ("golden/0", "golden/1"),
+        magnitude=n,
+    )
+    states = family.build_states(frozen, n)
+    return {
+        "family_token": family.params.cache_token,
+        "num_cells": family.params.num_cells,
+        "players": {
+            str(v): {
+                "totals": list(s.totals),
+                "index_sums": list(s.index_sums),
+                "fingerprints": [str(f) for f in s.fingerprints],
+            }
+            for v, s in sorted(states.items())
+        },
     }
 
 

@@ -36,6 +36,7 @@ from .engine import (
     workers_from_env,
 )
 from .experiments import all_experiments, get_experiment
+from .model import set_batch_sketching
 
 
 def _parse_value(raw: str):
@@ -91,6 +92,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the construction cache entirely",
     )
+    parser.add_argument(
+        "--no-batch-sketch",
+        action="store_true",
+        help="force per-view sketch construction (disable the batched runtime)",
+    )
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
@@ -99,6 +105,7 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
         directory=getattr(args, "cache_dir", None),
         enabled=not getattr(args, "no_cache", False),
     )
+    set_batch_sketching(not getattr(args, "no_batch_sketch", False))
     workers = getattr(args, "workers", None)
     if workers is None:
         workers = workers_from_env()

@@ -84,6 +84,10 @@ class FrozenGraph:
         "_adjacency",
         "_vertex_set",
         "_edge_set",
+        # Weak referenceability: model-layer caches (the per-graph player
+        # view cache in ``model.views``) key on the graph without pinning
+        # it alive.
+        "__weakref__",
     )
 
     def __init__(

@@ -12,15 +12,17 @@ from .messages import (
     encode_vertex_set,
     id_width_for,
 )
-from .protocol import AdaptiveProtocol, SketchProtocol
+from .protocol import AdaptiveProtocol, BatchSketchProtocol, SketchProtocol
 from .runner import (
     AdaptiveRun,
     ProtocolRun,
     Transcript,
+    batch_sketching_enabled,
     estimate_success_probability,
     run_adaptive_protocol,
     run_protocol,
     run_protocol_batch,
+    set_batch_sketching,
 )
 from .views import VertexView, restricted_view, views_of
 
@@ -29,6 +31,7 @@ __all__ = [
     "AdaptiveRun",
     "BCCRound",
     "BCCRun",
+    "BatchSketchProtocol",
     "BitReader",
     "BitWriter",
     "EMPTY_MESSAGE",
@@ -40,6 +43,7 @@ __all__ = [
     "VertexView",
     "as_one_round_bcc",
     "assert_packed_accounting",
+    "batch_sketching_enabled",
     "decode_vertex_set",
     "encode_vertex_set",
     "estimate_success_probability",
@@ -48,5 +52,6 @@ __all__ = [
     "run_adaptive_protocol",
     "run_protocol",
     "run_protocol_batch",
+    "set_batch_sketching",
     "views_of",
 ]

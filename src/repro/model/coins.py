@@ -7,7 +7,10 @@ named random streams — two players deriving the stream "l0/level/3" get
 bit-identical randomness, which is exactly the public-coin semantics.
 
 Derivation uses SHA-256 of (seed, label), not Python's salted ``hash``,
-so streams are stable across processes and runs.
+so streams are stable across processes and runs.  The digest for each
+``(seed, label)`` pair is memoized process-wide: under the batched sketch
+runtime every player of a graph consults the *same* handful of labels,
+so the hash is paid once per label instead of once per player per label.
 """
 
 from __future__ import annotations
@@ -15,6 +18,18 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1 << 16)
+def _stream_seed(seed: int, label: str) -> int:
+    """The memoized SHA-256-derived seed of stream ``label``.
+
+    Pure in (seed, label), so the cache can only ever change timings —
+    every ``rng`` call still returns a *fresh* generator at position 0.
+    """
+    digest = hashlib.sha256(f"{seed}/{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -30,8 +45,7 @@ class PublicCoins:
         freshly-seeded generator; distinct labels give independent-looking
         streams.
         """
-        digest = hashlib.sha256(f"{self.seed}/{label}".encode()).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+        return random.Random(_stream_seed(self.seed, label))
 
     def uniform_int(self, label: str, upper: int) -> int:
         """A single shared uniform draw from {0, ..., upper-1}."""
@@ -39,7 +53,23 @@ class PublicCoins:
             raise ValueError("upper must be positive")
         return self.rng(label).randrange(upper)
 
+    def uniform_ints(self, label: str, count: int, upper: int) -> list[int]:
+        """``count`` shared uniform draws from {0, ..., upper-1} in bulk.
+
+        One stream derivation (one SHA-256, memoized) serves the whole
+        batch, where the per-draw API would hash once per value.  Note
+        the draws come from a *single* stream, so
+        ``uniform_ints(label, k, u)`` is NOT element-wise equal to
+        ``[uniform_int(f"{label}/{i}", u) for i in range(k)]`` — batched
+        construction code must adopt one convention and keep it.
+        """
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = self.rng(label)
+        return [rng.randrange(upper) for _ in range(count)]
+
     def child(self, label: str) -> "PublicCoins":
         """A derived coin namespace (e.g. per protocol instance)."""
-        digest = hashlib.sha256(f"{self.seed}/child/{label}".encode()).digest()
-        return PublicCoins(seed=int.from_bytes(digest[:8], "big"))
+        return PublicCoins(seed=_stream_seed(self.seed, f"child/{label}"))

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Mapping
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .coins import PublicCoins
 from .messages import Message
 from .views import VertexView
+
+if TYPE_CHECKING:  # only for annotations; keeps the import graph flat
+    from ..graphs import FrozenGraph
 
 
 class SketchProtocol(ABC):
@@ -40,6 +43,31 @@ class SketchProtocol(ABC):
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> Any:
         """Referee: recover the output from the received sketches."""
+
+
+class BatchSketchProtocol(SketchProtocol):
+    """A sketching protocol with a whole-graph batched sketch constructor.
+
+    ``sketch_batch`` produces every player's message in one pass over a
+    :class:`~repro.graphs.frozen.FrozenGraph`'s CSR buffers instead of n
+    independent :meth:`~SketchProtocol.sketch` calls — sharing derived
+    public-coin parameters and per-edge work between the two endpoints
+    that see each edge.  The contract is *bit identity*: for every graph
+    and coins,
+
+        ``sketch_batch(graph, n, coins)[v] == sketch(views_of(graph, n)[v], coins)``
+
+    for all players v.  The per-view path is the differential oracle
+    (tests/test_sketch_core.py fuzzes the equality; the golden vectors
+    pin it on fixed instances), and the runner silently falls back to it
+    for mutable builders or caller-supplied views.
+    """
+
+    @abstractmethod
+    def sketch_batch(
+        self, graph: "FrozenGraph", n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        """Every player's message, keyed by vertex, built in one pass."""
 
 
 class AdaptiveProtocol(ABC):

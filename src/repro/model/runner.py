@@ -15,11 +15,34 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..engine import ExecutionEngine, TrialPlan, resolve_engine
-from ..graphs import GraphLike
+from ..graphs import FrozenGraph, GraphLike
 from .coins import PublicCoins
 from .messages import Message, assert_packed_accounting
-from .protocol import AdaptiveProtocol, SketchProtocol
+from .protocol import AdaptiveProtocol, BatchSketchProtocol, SketchProtocol
 from .views import VertexView, views_of
+
+#: Process-global switch for the batched sketch fast path.  On by
+#: default; the CLI's ``--no-batch-sketch`` and the differential tests
+#: flip it to force the per-view oracle.
+_BATCH_SKETCHING = True
+
+
+def set_batch_sketching(enabled: bool) -> bool:
+    """Enable/disable the batched fast path; returns the previous value.
+
+    Batch and per-view construction are bit-identical by contract, so
+    the switch can only ever change timings — it exists for A/B
+    benchmarking and for pinning the oracle in differential tests.
+    """
+    global _BATCH_SKETCHING
+    previous = _BATCH_SKETCHING
+    _BATCH_SKETCHING = bool(enabled)
+    return previous
+
+
+def batch_sketching_enabled() -> bool:
+    """Whether ``run_protocol`` may take the batched fast path."""
+    return _BATCH_SKETCHING
 
 
 @dataclass(frozen=True)
@@ -77,12 +100,27 @@ def run_protocol(
     ``views`` may be supplied to run under a non-standard player model
     (e.g. the public/unique player split of Section 3.1); by default each
     vertex of the graph is one player with its full neighborhood.
+
+    Fast path: when the graph is frozen, the protocol implements
+    :class:`~repro.model.protocol.BatchSketchProtocol`, and no custom
+    views are supplied, all players' messages are built in one batched
+    pass over the CSR buffers.  Batch and per-view messages are
+    bit-identical by contract, so the transcript (and therefore every
+    downstream cost or lemma computation) is unchanged.
     """
-    if views is None:
-        views = views_of(graph, n=n)
     if n is None:
         n = graph.num_vertices()
-    sketches = {v: protocol.sketch(view, coins) for v, view in views.items()}
+    if (
+        views is None
+        and _BATCH_SKETCHING
+        and isinstance(graph, FrozenGraph)
+        and isinstance(protocol, BatchSketchProtocol)
+    ):
+        sketches = protocol.sketch_batch(graph, n, coins)
+    else:
+        if views is None:
+            views = views_of(graph, n=n)
+        sketches = {v: protocol.sketch(view, coins) for v, view in views.items()}
     transcript = Transcript(sketches=sketches)
     output = protocol.decode(n, sketches, coins)
     return ProtocolRun(output=output, transcript=transcript)

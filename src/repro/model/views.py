@@ -11,8 +11,10 @@ of the graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from weakref import WeakKeyDictionary
 
-from ..graphs import Edge, GraphLike, normalize_edge
+from ..graphs import Edge, FrozenGraph, GraphLike, normalize_edge
 
 
 @dataclass(frozen=True)
@@ -27,9 +29,28 @@ class VertexView:
     def degree(self) -> int:
         return len(self.neighbors)
 
+    @cached_property
+    def sorted_neighbors(self) -> tuple[int, ...]:
+        """N(u) ascending, computed once per view.
+
+        Most sketch functions canonicalize the neighborhood before
+        sampling or encoding; with views cached per frozen graph the
+        sort is paid once per graph instead of once per protocol run.
+        """
+        return tuple(sorted(self.neighbors))
+
     def incident_edges(self) -> list[Edge]:
         """The edges this player knows, in canonical sorted order."""
         return sorted(normalize_edge(self.vertex, u) for u in self.neighbors)
+
+
+#: Per-graph view cache: a frozen graph's player views are a pure
+#: function of (graph, n), so they are built once and shared across
+#: every subsequent protocol run on the same instance.  Weak keys keep
+#: the cache from pinning retired instances alive.
+_FROZEN_VIEW_CACHE: "WeakKeyDictionary[FrozenGraph, dict[int, dict[int, VertexView]]]" = (
+    WeakKeyDictionary()
+)
 
 
 def views_of(graph: GraphLike, n: int | None = None) -> dict[int, VertexView]:
@@ -40,14 +61,27 @@ def views_of(graph: GraphLike, n: int | None = None) -> dict[int, VertexView]:
     vertices by an arbitrary permutation of [n]).
 
     Accepts either representation.  On a ``FrozenGraph`` — the type the
-    hard-instance pipeline hands in — ``adjacency()`` materializes each
-    neighborhood from a CSR slice exactly once for the graph's lifetime
-    and iterates vertices in ascending order, so repeated view builds
-    over the same instance are allocation-free and deterministic.  On a
-    mutable builder the cached view is invalidated by mutation instead.
+    hard-instance pipeline hands in — the views dict itself is memoized
+    per ``(graph, n)``: the neighborhood frozensets are the prefilled
+    adjacency view shared at freeze time (never copied), and repeated
+    view builds over the same instance return the *same* dict.  Treat
+    the result as read-only.  On a mutable builder a fresh dict is built
+    per call (the builder's cached adjacency view is invalidated by
+    mutation instead).
     """
     if n is None:
         n = graph.num_vertices()
+    if isinstance(graph, FrozenGraph):
+        per_graph = _FROZEN_VIEW_CACHE.get(graph)
+        if per_graph is None:
+            per_graph = _FROZEN_VIEW_CACHE[graph] = {}
+        views = per_graph.get(n)
+        if views is None:
+            views = per_graph[n] = {
+                v: VertexView(n=n, vertex=v, neighbors=neighbors)
+                for v, neighbors in graph.adjacency().items()
+            }
+        return views
     return {
         v: VertexView(n=n, vertex=v, neighbors=neighbors)
         for v, neighbors in graph.adjacency().items()

@@ -14,25 +14,30 @@ Its failure on D_MM (experiment T1's sweep accepts any SketchProtocol)
 illustrates that the new lower bound subsumes the linear case at these
 budgets — while costing O(samplers * log^2 n) bits rather than the
 Ω(n) the linear-sketch lower bounds prove for exact maximality.
+
+Unlike the AGM family, the samplers here are keyed *per vertex* (they
+are never summed across players), so the batch path builds one small
+:class:`~repro.sketches.core.L0FamilyState` per vertex from its CSR row
+rather than one shared family over the edge list.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph, greedy_maximal_matching
+from ..graphs import Edge, FrozenGraph, Graph, greedy_maximal_matching
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
 )
-from ..sketches import L0Config, L0Sampler
+from ..sketches import L0Block, L0Config, L0FamilyState, L0Sampler, derive_family
 from ..sketches.incidence import coordinate_edge, edge_coordinate
 
 
-class LinearL0Matching(SketchProtocol):
+class LinearL0Matching(BatchSketchProtocol):
     """Send L0 samplers of the incidence row; match the recoveries."""
 
     def __init__(self, samplers_per_vertex: int) -> None:
@@ -44,31 +49,50 @@ class LinearL0Matching(SketchProtocol):
     def _labels(self) -> list[str]:
         return [f"linear-mm/{s}" for s in range(self.samplers_per_vertex)]
 
+    def _vertex_family(self, vertex: int, n: int, coins: PublicCoins):
+        # Per-vertex streams: key the labels by the vertex so samplers
+        # of different vertices are independent (they are never summed
+        # across vertices in this protocol).
+        config = L0Config.for_universe(n * n)
+        return derive_family(
+            config,
+            coins,
+            tuple(f"{label}/{vertex}" for label in self._labels()),
+            magnitude=n,
+        )
+
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         config = L0Config.for_universe(view.n * view.n)
         writer = BitWriter()
         for label in self._labels():
-            # Per-vertex streams: key the label by the vertex so samplers
-            # of different vertices are independent (they are never
-            # summed across vertices in this protocol).
             sampler = L0Sampler(config, coins, f"{label}/{view.vertex}")
             for u in view.neighbors:
                 sampler.update(edge_coordinate(view.vertex, u, view.n), 1)
             sampler.encode(writer, max_value_magnitude=view.n)
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        messages: dict[int, Message] = {}
+        for v in graph.sorted_vertices():
+            state = L0FamilyState(self._vertex_family(v, n, coins))
+            for u in graph.neighbors_sorted(v):
+                state.update(edge_coordinate(v, u, n), 1)
+            messages[v] = state.to_message()
+        return messages
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
-        config = L0Config.for_universe(n * n)
         candidates = Graph(vertices=sketches.keys())
         for v, message in sketches.items():
-            reader = message.reader()
-            for label in self._labels():
-                sampler = L0Sampler.decode(
-                    reader, config, coins, f"{label}/{v}", max_value_magnitude=n
-                )
-                got = sampler.recover()
+            family = self._vertex_family(v, n, coins)
+            state = L0FamilyState.decode(message.reader(), family)
+            for index in range(family.num_labels):
+                block = L0Block(family, index)
+                block.accumulate(state)
+                got = block.recover()
                 if got is None:
                     continue
                 try:

@@ -15,15 +15,25 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph, greedy_maximal_matching, greedy_mis
-from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
+from ..graphs import Edge, FrozenGraph, Graph, greedy_maximal_matching, greedy_mis
+from ..model import (
+    BatchSketchProtocol,
+    Message,
+    PublicCoins,
+    VertexView,
+)
+from ..sketches.core import adjacency_row_message
 
 
 def _encode_adjacency_row(view: VertexView) -> Message:
-    writer = BitWriter()
-    for u in range(view.n):
-        writer.write_bit(1 if u in view.neighbors else 0)
-    return writer.to_message()
+    return adjacency_row_message(view.sorted_neighbors, view.n)
+
+
+def _batch_adjacency_rows(graph: FrozenGraph, n: int) -> dict[int, Message]:
+    return {
+        v: adjacency_row_message(graph.neighbors_sorted(v), n)
+        for v in graph.sorted_vertices()
+    }
 
 
 def _decode_graph(n: int, sketches: Mapping[int, Message]) -> Graph:
@@ -37,7 +47,7 @@ def _decode_graph(n: int, sketches: Mapping[int, Message]) -> Graph:
     return graph
 
 
-class FullNeighborhoodMatching(SketchProtocol):
+class FullNeighborhoodMatching(BatchSketchProtocol):
     """Referee reconstructs G exactly and outputs a greedy maximal matching."""
 
     name = "full-neighborhood-matching"
@@ -45,19 +55,29 @@ class FullNeighborhoodMatching(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         return _encode_adjacency_row(view)
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return _batch_adjacency_rows(graph, n)
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
         return greedy_maximal_matching(_decode_graph(n, sketches))
 
 
-class FullNeighborhoodMIS(SketchProtocol):
+class FullNeighborhoodMIS(BatchSketchProtocol):
     """Referee reconstructs G exactly and outputs a greedy MIS."""
 
     name = "full-neighborhood-mis"
 
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         return _encode_adjacency_row(view)
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return _batch_adjacency_rows(graph, n)
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

@@ -23,26 +23,48 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph, greedy_maximal_matching, greedy_mis
+from ..graphs import Edge, FrozenGraph, Graph, greedy_maximal_matching, greedy_mis
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
     decode_vertex_set,
     encode_vertex_set,
     id_width_for,
 )
+from ..sketches.core import vertex_set_message
 
 
-def _sample_neighbors(view: VertexView, coins: PublicCoins, budget: int, label: str) -> list[int]:
+def _sample_sorted(
+    vertex: int, sorted_neighbors, coins: PublicCoins, budget: int, label: str
+):
+    """Deterministic public-coin sample of up to ``budget`` neighbors
+    from an ascending neighbor sequence.  ``rng.sample`` depends only on
+    the sequence's order and length, so the per-view sorted list and the
+    CSR tuple draw identically."""
+    if len(sorted_neighbors) <= budget:
+        return sorted_neighbors
+    rng = coins.rng(f"{label}/{vertex}")
+    return sorted(rng.sample(sorted_neighbors, budget))
+
+
+def _sample_neighbors(view: VertexView, coins: PublicCoins, budget: int, label: str):
     """Deterministic public-coin sample of up to ``budget`` neighbors."""
-    neighbors = sorted(view.neighbors)
-    if len(neighbors) <= budget:
-        return neighbors
-    rng = coins.rng(f"{label}/{view.vertex}")
-    return sorted(rng.sample(neighbors, budget))
+    return _sample_sorted(view.vertex, view.sorted_neighbors, coins, budget, label)
+
+
+def _batch_sampled_messages(
+    graph: FrozenGraph, n: int, coins: PublicCoins, budget: int, label: str
+) -> dict[int, Message]:
+    """Every player's sampled-neighbor message straight off the CSR rows."""
+    return {
+        v: vertex_set_message(
+            _sample_sorted(v, graph.neighbors_sorted(v), coins, budget, label), n
+        )
+        for v in graph.sorted_vertices()
+    }
 
 
 def _decode_sampled_graph(
@@ -57,7 +79,7 @@ def _decode_sampled_graph(
     return graph
 
 
-class SampledEdgesMatching(SketchProtocol):
+class SampledEdgesMatching(BatchSketchProtocol):
     """Send ``edges_per_vertex`` random incident edges; greedy MM on the union.
 
     Per-player cost: about edges_per_vertex * log2(n) bits.
@@ -75,13 +97,20 @@ class SampledEdgesMatching(SketchProtocol):
         encode_vertex_set(writer, sampled, id_width_for(view.n))
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return _batch_sampled_messages(
+            graph, n, coins, self.edges_per_vertex, "sampled-mm"
+        )
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
         return greedy_maximal_matching(_decode_sampled_graph(n, sketches))
 
 
-class DegreeAdaptiveMatching(SketchProtocol):
+class DegreeAdaptiveMatching(BatchSketchProtocol):
     """Full neighborhood when deg <= degree_cap, else sample that many."""
 
     def __init__(self, degree_cap: int) -> None:
@@ -96,13 +125,18 @@ class DegreeAdaptiveMatching(SketchProtocol):
         encode_vertex_set(writer, sampled, id_width_for(view.n))
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return _batch_sampled_messages(graph, n, coins, self.degree_cap, "adaptive-mm")
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
         return greedy_maximal_matching(_decode_sampled_graph(n, sketches))
 
 
-class SampledEdgesMIS(SketchProtocol):
+class SampledEdgesMIS(BatchSketchProtocol):
     """MIS twin of :class:`SampledEdgesMatching`: greedy MIS on the union.
 
     Note the failure mode difference: a sampled-graph MIS can be *invalid*
@@ -123,13 +157,20 @@ class SampledEdgesMIS(SketchProtocol):
         encode_vertex_set(writer, sampled, id_width_for(view.n))
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return _batch_sampled_messages(
+            graph, n, coins, self.edges_per_vertex, "sampled-mis"
+        )
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[int]:
         return greedy_mis(_decode_sampled_graph(n, sketches))
 
 
-class LowDegreeOnlyMatching(SketchProtocol):
+class LowDegreeOnlyMatching(BatchSketchProtocol):
     """Only low-degree players speak: full neighborhood iff deg <= threshold.
 
     The sharpest known attack on D_MM-style instances: unique vertices
@@ -160,10 +201,20 @@ class LowDegreeOnlyMatching(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         writer = BitWriter()
         if view.degree <= self.degree_threshold:
-            encode_vertex_set(writer, sorted(view.neighbors), id_width_for(view.n))
+            encode_vertex_set(writer, view.sorted_neighbors, id_width_for(view.n))
         else:
             encode_vertex_set(writer, [], id_width_for(view.n))
         return writer.to_message()
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        messages: dict[int, Message] = {}
+        for v in graph.sorted_vertices():
+            row = graph.neighbors_sorted(v)
+            chosen = row if len(row) <= self.degree_threshold else ()
+            messages[v] = vertex_set_message(chosen, n)
+        return messages
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
@@ -171,7 +222,7 @@ class LowDegreeOnlyMatching(SketchProtocol):
         return greedy_maximal_matching(_decode_sampled_graph(n, sketches))
 
 
-class HybridMatching(SketchProtocol):
+class HybridMatching(BatchSketchProtocol):
     """Full neighborhood below the threshold, sampling above it.
 
     Dominates both pure policies: low-degree vertices (the unique block
@@ -189,12 +240,25 @@ class HybridMatching(SketchProtocol):
 
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         if view.degree <= self.degree_threshold:
-            chosen = sorted(view.neighbors)
+            chosen = view.sorted_neighbors
         else:
             chosen = _sample_neighbors(view, coins, self.sample_budget, "hybrid-mm")
         writer = BitWriter()
         encode_vertex_set(writer, chosen, id_width_for(view.n))
         return writer.to_message()
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        messages: dict[int, Message] = {}
+        for v in graph.sorted_vertices():
+            row = graph.neighbors_sorted(v)
+            if len(row) <= self.degree_threshold:
+                chosen = row
+            else:
+                chosen = _sample_sorted(v, row, coins, self.sample_budget, "hybrid-mm")
+            messages[v] = vertex_set_message(chosen, n)
+        return messages
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

@@ -15,12 +15,13 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any
 
+from ..graphs import FrozenGraph
 from ..model import (
     AdaptiveProtocol,
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
 )
 
@@ -30,7 +31,13 @@ def _priority(coins: PublicCoins, vertex: int) -> float:
     return coins.rng(f"luby/priority/{vertex}").random()
 
 
-class OneRoundLocalMinMIS(SketchProtocol):
+def _one_bit(value: bool) -> Message:
+    writer = BitWriter()
+    writer.write_bit(1 if value else 0)
+    return writer.to_message()
+
+
+class OneRoundLocalMinMIS(BatchSketchProtocol):
     """Output the local-minimum set of a public random priority order.
 
     Always an *independent* set; maximal only by luck.  Used in tests and
@@ -42,9 +49,19 @@ class OneRoundLocalMinMIS(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         mine = _priority(coins, view.vertex)
         is_local_min = all(mine < _priority(coins, u) for u in view.neighbors)
-        writer = BitWriter()
-        writer.write_bit(1 if is_local_min else 0)
-        return writer.to_message()
+        return _one_bit(is_local_min)
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        # One priority draw per vertex instead of one per directed edge.
+        priorities = {v: _priority(coins, v) for v in graph.sorted_vertices()}
+        return {
+            v: _one_bit(
+                all(priorities[v] < priorities[u] for u in graph.neighbors_sorted(v))
+            )
+            for v in graph.sorted_vertices()
+        }
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

@@ -68,7 +68,7 @@ class FilteringMatching(AdaptiveProtocol):
         writer = BitWriter()
         width = id_width_for(view.n)
         if round_index == 0:
-            neighbors = sorted(view.neighbors)
+            neighbors = view.sorted_neighbors
             if len(neighbors) > cap:
                 rng = coins.rng(f"filtering/round0/{view.vertex}")
                 neighbors = sorted(rng.sample(neighbors, cap))
@@ -79,7 +79,7 @@ class FilteringMatching(AdaptiveProtocol):
         if view.vertex in matched:
             encode_vertex_set(writer, [], width)
             return writer.to_message()
-        residual = sorted(u for u in view.neighbors if u not in matched)
+        residual = [u for u in view.sorted_neighbors if u not in matched]
         if len(residual) > cap:
             rng = coins.rng(f"filtering/round{round_index}/{view.vertex}")
             residual = sorted(rng.sample(residual, cap))
@@ -166,7 +166,7 @@ class SampleAndPruneMIS(AdaptiveProtocol):
         writer = BitWriter()
         width = id_width_for(view.n)
         if round_index == 0:
-            neighbors = sorted(view.neighbors) if view.degree <= cap else []
+            neighbors = view.sorted_neighbors if view.degree <= cap else []
             encode_vertex_set(writer, neighbors, width)
             return writer.to_message()
         if round_index == 1:
@@ -178,7 +178,7 @@ class SampleAndPruneMIS(AdaptiveProtocol):
         if view.vertex not in undominated:
             encode_vertex_set(writer, [], width)
             return writer.to_message()
-        residual = sorted(u for u in view.neighbors if u in undominated)
+        residual = [u for u in view.sorted_neighbors if u in undominated]
         if len(residual) > cap:
             rng = coins.rng(f"sap-mis/{view.vertex}")
             residual = sorted(rng.sample(residual, cap))

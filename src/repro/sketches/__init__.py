@@ -3,7 +3,10 @@
 These are the problems that *do* admit polylog(n)-bit sketches
 (introduction of the paper): spanning forest / connectivity via AGM,
 the footnote-1 crossing-edge protocol, and (Δ+1)-coloring via palette
-sparsification.  They share the L0-sampling machinery built here.
+sparsification.  They share the L0-sampling machinery built here, and
+all run on the mergeable :mod:`~repro.sketches.core` runtime: batched
+whole-graph construction on frozen graphs, per-view construction as the
+differential oracle (see ``docs/sketches.md``).
 """
 
 from .agm import AGMParameters, AGMSpanningForest
@@ -16,6 +19,14 @@ from .coloring import (
     sample_palette,
 )
 from .connectivity import AGMConnectivity
+from .core import (
+    L0Block,
+    L0FamilyParams,
+    L0FamilyState,
+    LinearSketch,
+    SketchFamily,
+    derive_family,
+)
 from .crossing_edge import CrossingEdgeProtocol, CrossingEdgeResult
 from .degeneracy import DegeneracyEstimate, DegeneracySketch
 from .densest import DensestSubgraphResult, DensestSubgraphSketch, edge_sampled
@@ -37,15 +48,21 @@ __all__ = [
     "DegeneracySketch",
     "DensestSubgraphResult",
     "DensestSubgraphSketch",
+    "L0Block",
     "L0Config",
+    "L0FamilyParams",
+    "L0FamilyState",
     "L0Sampler",
+    "LinearSketch",
     "OneSparse",
+    "SketchFamily",
     "PaletteSparsificationColoring",
     "PrivateCoinColoring",
     "TriangleCountSketch",
     "TriangleEstimate",
     "certificate_min_cut",
     "coordinate_edge",
+    "derive_family",
     "edge_coordinate",
     "edge_sampled",
     "incidence_entries",

@@ -10,6 +10,13 @@ r adds, per component, the edge recovered from the *round-r* samplers
 summed over the component's members (linearity makes the internal edges
 cancel), then merges.  Fresh samplers per round keep the recoveries
 independent of the merging decisions.
+
+Construction runs on the :mod:`~repro.sketches.core` runtime: on a
+frozen graph ``sketch_batch`` builds every player's sampler family in
+one pass over the CSR edge list, and the referee decodes into columnar
+:class:`~repro.sketches.core.L0FamilyState` states merged per component
+through :class:`~repro.sketches.core.L0Block`.  The per-view ``sketch``
+remains the differential oracle — both paths emit identical bits.
 """
 
 from __future__ import annotations
@@ -18,8 +25,15 @@ import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Edge
-from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
+from ..graphs import Edge, FrozenGraph
+from ..model import (
+    BatchSketchProtocol,
+    BitWriter,
+    Message,
+    PublicCoins,
+    VertexView,
+)
+from .core import L0Block, L0FamilyState, SketchFamily, derive_family
 from .incidence import coordinate_edge, incidence_entries
 from .l0sampler import L0Config, L0Sampler
 
@@ -57,7 +71,7 @@ class AGMParameters:
         return AGMParameters(num_rounds=rounds, repetitions=repetitions)
 
 
-class AGMSpanningForest(SketchProtocol):
+class AGMSpanningForest(BatchSketchProtocol):
     """One-round public-coin sketching protocol for spanning forests."""
 
     name = "agm-spanning-forest"
@@ -77,6 +91,12 @@ class AGMSpanningForest(SketchProtocol):
             for c in range(params.repetitions)
         ]
 
+    def _family(self, n: int, coins: PublicCoins) -> SketchFamily:
+        params, config = self._resolve(n)
+        return SketchFamily.incidence(
+            config, coins, self._sampler_labels(params), magnitude=n
+        )
+
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         params, config = self._resolve(view.n)
         entries = incidence_entries(view)
@@ -88,18 +108,17 @@ class AGMSpanningForest(SketchProtocol):
             sampler.encode(writer, max_value_magnitude=view.n)
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return self._family(n, coins).build_messages(graph, n)
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
-        params, config = self._resolve(n)
-        labels = self._sampler_labels(params)
-        readers = {v: m.reader() for v, m in sketches.items()}
-        decoded: dict[str, dict[int, L0Sampler]] = {label: {} for label in labels}
-        for v, reader in readers.items():
-            for label in labels:
-                decoded[label][v] = L0Sampler.decode(
-                    reader, config, coins, label, max_value_magnitude=n
-                )
+        params, _config = self._resolve(n)
+        family = self._family(n, coins)
+        states = family.decode_states(sketches)
 
         vertices = sorted(sketches)
         uf = _UnionFind(vertices)
@@ -113,7 +132,7 @@ class AGMSpanningForest(SketchProtocol):
             merged_any = False
             for members in components.values():
                 edge = self._recover_outgoing(
-                    members, round_index, params, decoded
+                    members, round_index, params, family, states, n
                 )
                 if edge is None:
                     continue
@@ -130,27 +149,25 @@ class AGMSpanningForest(SketchProtocol):
         members: list[int],
         round_index: int,
         params: AGMParameters,
-        decoded: dict[str, dict[int, L0Sampler]],
+        family: SketchFamily,
+        states: dict[int, L0FamilyState],
+        n: int,
     ) -> Edge | None:
-        """Sum the component's round-r samplers and recover a crossing edge,
-        trying each repetition until one passes the one-sparse test."""
-        n_sq_to_n = None
+        """Sum the component's round-r sampler columns and recover a
+        crossing edge, trying each repetition until one passes the
+        one-sparse test."""
         for rep in range(params.repetitions):
-            label = f"agm/round{round_index}/rep{rep}"
-            samplers = decoded[label]
-            combined: L0Sampler | None = None
+            block: L0Block = family.block(
+                round_index * params.repetitions + rep
+            )
             for v in members:
-                combined = samplers[v] if combined is None else combined.add(samplers[v])
-            if combined is None:
-                return None
-            if n_sq_to_n is None:
-                n_sq_to_n = int(math.isqrt(combined.config.universe))
-            got = combined.recover()
+                block.accumulate(states[v])
+            got = block.recover()
             if got is None:
                 continue
             coord, _value = got
             try:
-                return coordinate_edge(coord, n_sq_to_n)
+                return coordinate_edge(coord, n)
             except ValueError:
                 continue  # fingerprint collision produced garbage; next rep
         return None

@@ -20,15 +20,22 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph, GraphLike
+from ..graphs import Edge, FrozenGraph, Graph, GraphLike
 from ..graphs.builders import connected_components
-from ..model import BitWriter, Message, PublicCoins, SketchProtocol, VertexView
+from ..model import (
+    BatchSketchProtocol,
+    BitWriter,
+    Message,
+    PublicCoins,
+    VertexView,
+)
 from .agm import AGMParameters, _UnionFind
+from .core import L0FamilyState, SketchFamily
 from .incidence import coordinate_edge, edge_coordinate, incidence_entries
 from .l0sampler import L0Config, L0Sampler
 
 
-class ConnectivityCertificate(SketchProtocol):
+class ConnectivityCertificate(BatchSketchProtocol):
     """Sketching protocol producing a k-edge-connectivity certificate."""
 
     def __init__(self, k: int, params: AGMParameters | None = None) -> None:
@@ -50,6 +57,12 @@ class ConnectivityCertificate(SketchProtocol):
             for c in range(params.repetitions)
         ]
 
+    def _family(self, n: int, coins: PublicCoins) -> SketchFamily:
+        params, config = self._resolve(n)
+        return SketchFamily.incidence(
+            config, coins, self._labels(params), magnitude=n
+        )
+
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         params, config = self._resolve(view.n)
         entries = incidence_entries(view)
@@ -61,23 +74,23 @@ class ConnectivityCertificate(SketchProtocol):
             sampler.encode(writer, max_value_magnitude=view.n)
         return writer.to_message()
 
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return self._family(n, coins).build_messages(graph, n)
+
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins
     ) -> set[Edge]:
-        params, config = self._resolve(n)
-        readers = {v: m.reader() for v, m in sketches.items()}
-        decoded: dict[str, dict[int, L0Sampler]] = {}
-        for v, reader in readers.items():
-            for label in self._labels(params):
-                decoded.setdefault(label, {})[v] = L0Sampler.decode(
-                    reader, config, coins, label, max_value_magnitude=n
-                )
+        params, _config = self._resolve(n)
+        family = self._family(n, coins)
+        states = family.decode_states(sketches)
 
         vertices = sorted(sketches)
         certificate: set[Edge] = set()
         for batch in range(self.k):
             forest = self._peel_forest(
-                vertices, batch, params, decoded, certificate, n
+                vertices, batch, params, family, states, certificate, n
             )
             certificate |= forest
         return certificate
@@ -87,7 +100,8 @@ class ConnectivityCertificate(SketchProtocol):
         vertices: list[int],
         batch: int,
         params: AGMParameters,
-        decoded: dict[str, dict[int, L0Sampler]],
+        family: SketchFamily,
+        states: dict[int, L0FamilyState],
         removed: set[Edge],
         n: int,
     ) -> set[Edge]:
@@ -109,7 +123,8 @@ class ConnectivityCertificate(SketchProtocol):
             merged = False
             for members in components.values():
                 edge = self._recover(
-                    members, batch, round_index, params, decoded, removed, n
+                    members, batch, round_index, params, family, states,
+                    removed, n,
                 )
                 if edge is None:
                     continue
@@ -127,21 +142,22 @@ class ConnectivityCertificate(SketchProtocol):
         batch: int,
         round_index: int,
         params: AGMParameters,
-        decoded: dict[str, dict[int, L0Sampler]],
+        family: SketchFamily,
+        states: dict[int, L0FamilyState],
         removed: set[Edge],
         n: int,
     ) -> Edge | None:
         member_set = set(members)
+        per_batch = params.num_rounds * params.repetitions
         for rep in range(params.repetitions):
-            label = f"cert/batch{batch}/round{round_index}/rep{rep}"
-            samplers = decoded[label]
-            combined: L0Sampler | None = None
+            block = family.block(
+                batch * per_batch + round_index * params.repetitions + rep
+            )
             for v in members:
-                combined = samplers[v] if combined is None else combined.add(samplers[v])
-            if combined is None:
-                return None
-            # Subtract already-peeled edges crossing this component.
-            adjusted = combined
+                block.accumulate(states[v])
+            # Subtract already-peeled edges crossing this component.  The
+            # block is a scratch accumulation, so — unlike the historical
+            # sampler-mutating path — no undo dance is needed.
             for u, w in removed:
                 u_in, w_in = u in member_set, w in member_set
                 if u_in == w_in:
@@ -151,18 +167,8 @@ class ConnectivityCertificate(SketchProtocol):
                 # is inside, else -1.
                 inside = u if u_in else w
                 sign = 1 if inside == min(u, w) else -1
-                adjusted.update(coord, -sign)
-            got = adjusted.recover()
-            # Undo the adjustment so other components can reuse nothing —
-            # adjusted IS combined (update mutates); re-add for safety.
-            for u, w in removed:
-                u_in, w_in = u in member_set, w in member_set
-                if u_in == w_in:
-                    continue
-                coord = edge_coordinate(u, w, n)
-                inside = u if u_in else w
-                sign = 1 if inside == min(u, w) else -1
-                adjusted.update(coord, sign)
+                block.update(coord, -sign)
+            got = block.recover()
             if got is None:
                 continue
             coord, _ = got

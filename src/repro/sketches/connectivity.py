@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..graphs import Edge, Graph
-from ..model import Message, PublicCoins, SketchProtocol, VertexView
+from ..graphs import Edge, FrozenGraph, Graph
+from ..model import BatchSketchProtocol, Message, PublicCoins, VertexView
 from ..graphs.builders import connected_components
 from .agm import AGMParameters, AGMSpanningForest
 
 
-class AGMConnectivity(SketchProtocol):
+class AGMConnectivity(BatchSketchProtocol):
     """Sketching protocol deciding connectivity / counting components."""
 
     name = "agm-connectivity"
@@ -26,6 +26,14 @@ class AGMConnectivity(SketchProtocol):
 
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         return self._forest.sketch(view, coins)
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        # Identical family, identical messages — and the engine cache is
+        # keyed by the family, so forest and connectivity runs over the
+        # same instance share one construction.
+        return self._forest.sketch_batch(graph, n, coins)
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

@@ -21,13 +21,13 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Edge, Graph
+from ..graphs import Edge, FrozenGraph, Graph
 from ..graphs.builders import connected_components
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
     decode_vertex_set,
     encode_vertex_set,
@@ -41,7 +41,7 @@ class CrossingEdgeResult:
     clusters: tuple[frozenset[int], ...]
 
 
-class CrossingEdgeProtocol(SketchProtocol):
+class CrossingEdgeProtocol(BatchSketchProtocol):
     """Recover the unique cluster-crossing edge with O(log^2 n)-bit sketches."""
 
     name = "footnote1-crossing-edge"
@@ -52,18 +52,46 @@ class CrossingEdgeProtocol(SketchProtocol):
         self.samples_per_vertex = samples_per_vertex
 
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
-        rng = coins.rng(f"crossing/samples/{view.vertex}")
-        neighbors = sorted(view.neighbors)
+        return self._encode(
+            view.vertex, view.sorted_neighbors, view.n, coins, None
+        )
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        # The s-sums in one pass over the ascending edge list: edge
+        # (u, v) with u < v contributes +(v*n + u) at u (v is the larger
+        # endpoint) and -(v*n + u) at v — exactly the two terms the
+        # per-view loop adds at each endpoint.
+        s_values = {v: 0 for v in graph.sorted_vertices()}
+        for u, v in graph.edges():
+            term = v * n + u
+            s_values[u] += term
+            s_values[v] -= term
+        return {
+            v: self._encode(v, graph.neighbors_sorted(v), n, coins, s_values[v])
+            for v in graph.sorted_vertices()
+        }
+
+    def _encode(
+        self, vertex: int, neighbors, n: int, coins: PublicCoins, s_w: int | None
+    ) -> Message:
+        """One player's message from its ascending neighbor sequence.
+
+        ``rng.sample`` depends only on the sequence's length and order,
+        so the CSR tuple and the per-view sorted list draw identically.
+        """
+        rng = coins.rng(f"crossing/samples/{vertex}")
         take = min(self.samples_per_vertex, len(neighbors))
         sampled = rng.sample(neighbors, take) if take else []
 
-        n = view.n
-        s_w = 0
-        for z in view.neighbors:
-            if z > view.vertex:
-                s_w += z * n + view.vertex
-            else:
-                s_w -= view.vertex * n + z
+        if s_w is None:
+            s_w = 0
+            for z in neighbors:
+                if z > vertex:
+                    s_w += z * n + vertex
+                else:
+                    s_w -= vertex * n + z
         writer = BitWriter()
         width = id_width_for(n)
         encode_vertex_set(writer, sampled, width)

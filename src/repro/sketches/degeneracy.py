@@ -13,18 +13,19 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Graph
+from ..graphs import FrozenGraph, Graph
 from ..graphs.degeneracy import degeneracy as exact_degeneracy
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
     decode_vertex_set,
     encode_vertex_set,
     id_width_for,
 )
+from .core import sampled_lower_endpoint_messages
 from .densest import edge_sampled
 
 
@@ -35,7 +36,7 @@ class DegeneracyEstimate:
     sampled_edges: int
 
 
-class DegeneracySketch(SketchProtocol):
+class DegeneracySketch(BatchSketchProtocol):
     """One-round degeneracy estimator via consistent edge sampling."""
 
     def __init__(self, probability: float) -> None:
@@ -47,13 +48,20 @@ class DegeneracySketch(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         reported = [
             u
-            for u in sorted(view.neighbors)
+            for u in view.sorted_neighbors
             if view.vertex < u
             and edge_sampled(coins, view.vertex, u, self.probability)
         ]
         writer = BitWriter()
         encode_vertex_set(writer, reported, id_width_for(view.n))
         return writer.to_message()
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return sampled_lower_endpoint_messages(
+            graph, n, coins, self.probability, edge_sampled
+        )
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

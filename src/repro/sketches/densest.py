@@ -15,18 +15,19 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Graph, normalize_edge
+from ..graphs import FrozenGraph, Graph, normalize_edge
 from ..graphs.densest import charikar_peeling
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
     decode_vertex_set,
     encode_vertex_set,
     id_width_for,
 )
+from .core import sampled_lower_endpoint_messages
 
 
 def edge_sampled(coins: PublicCoins, u: int, v: int, probability: float) -> bool:
@@ -43,7 +44,7 @@ class DensestSubgraphResult:
     estimated_density: float  # sampled density rescaled by 1/p
 
 
-class DensestSubgraphSketch(SketchProtocol):
+class DensestSubgraphSketch(BatchSketchProtocol):
     """One-round densest subgraph: consistent sampling + referee peeling."""
 
     def __init__(self, probability: float) -> None:
@@ -55,13 +56,20 @@ class DensestSubgraphSketch(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         reported = [
             u
-            for u in sorted(view.neighbors)
+            for u in view.sorted_neighbors
             if view.vertex < u
             and edge_sampled(coins, view.vertex, u, self.probability)
         ]
         writer = BitWriter()
         encode_vertex_set(writer, reported, id_width_for(view.n))
         return writer.to_message()
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return sampled_lower_endpoint_messages(
+            graph, n, coins, self.probability, edge_sampled
+        )
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

@@ -17,6 +17,7 @@ summaries coordinate-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..model import BitReader, BitWriter, PublicCoins
 from .onesparse import DEFAULT_MODULUS, OneSparse
@@ -43,13 +44,22 @@ class L0Config:
         return L0Config(universe=universe, num_levels=levels)
 
 
-def _derive_params(config: L0Config, coins: PublicCoins, label: str) -> tuple[int, int, int]:
-    """Public-coin (a, b, r): the level hash pair and the fingerprint base."""
-    rng = coins.rng(f"l0/{label}")
+@lru_cache(maxsize=1 << 16)
+def _derived_params(seed: int, label: str, q: int) -> tuple[int, int, int]:
+    """Memoized body of :func:`_derive_params`, keyed by what the draw
+    actually depends on.  Every player of every run re-derives the same
+    (a, b, r) for a given (coins, label); caching turns n SHA-256 stream
+    seeds + 3n randrange draws per family into one."""
+    rng = PublicCoins(seed=seed).rng(f"l0/{label}")
     a = rng.randrange(1, HASH_PRIME)
     b = rng.randrange(HASH_PRIME)
-    r = rng.randrange(2, config.q - 1)
+    r = rng.randrange(2, q - 1)
     return a, b, r
+
+
+def _derive_params(config: L0Config, coins: PublicCoins, label: str) -> tuple[int, int, int]:
+    """Public-coin (a, b, r): the level hash pair and the fingerprint base."""
+    return _derived_params(coins.seed, label, config.q)
 
 
 class L0Sampler:

@@ -15,18 +15,19 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..graphs import Graph
+from ..graphs import FrozenGraph, Graph
 from ..graphs.triangles import count_triangles
 from ..model import (
+    BatchSketchProtocol,
     BitWriter,
     Message,
     PublicCoins,
-    SketchProtocol,
     VertexView,
     decode_vertex_set,
     encode_vertex_set,
     id_width_for,
 )
+from .core import sampled_lower_endpoint_messages
 from .densest import edge_sampled
 
 
@@ -37,7 +38,7 @@ class TriangleEstimate:
     sampled_edges: int
 
 
-class TriangleCountSketch(SketchProtocol):
+class TriangleCountSketch(BatchSketchProtocol):
     """One-round triangle count estimator."""
 
     def __init__(self, probability: float) -> None:
@@ -49,13 +50,20 @@ class TriangleCountSketch(SketchProtocol):
     def sketch(self, view: VertexView, coins: PublicCoins) -> Message:
         reported = [
             u
-            for u in sorted(view.neighbors)
+            for u in view.sorted_neighbors
             if view.vertex < u
             and edge_sampled(coins, view.vertex, u, self.probability)
         ]
         writer = BitWriter()
         encode_vertex_set(writer, reported, id_width_for(view.n))
         return writer.to_message()
+
+    def sketch_batch(
+        self, graph: FrozenGraph, n: int, coins: PublicCoins
+    ) -> dict[int, Message]:
+        return sampled_lower_endpoint_messages(
+            graph, n, coins, self.probability, edge_sampled
+        )
 
     def decode(
         self, n: int, sketches: Mapping[int, Message], coins: PublicCoins

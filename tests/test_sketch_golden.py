@@ -1,0 +1,65 @@
+"""Golden sketch states: the construction arithmetic is pinned, cell by cell.
+
+``golden_messages.json``'s ``sketch_states`` section records every cell
+of every player's columnar state (totals / index sums / fingerprints)
+for a small two-label incidence family built by the batched CSR pass.
+Where the message goldens pin the wire bits, this pins the arithmetic
+*behind* them: a change to the level hash, the fingerprint power tables,
+or the incidence signs fails here even if it cancels on the wire.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.builders import two_random_components_with_bridge
+from repro.model import PublicCoins
+from repro.sketches import L0Config, L0FamilyState, SketchFamily
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_messages.json"
+
+
+@pytest.fixture(scope="module")
+def golden_states():
+    return json.loads(GOLDEN_PATH.read_text())["sketch_states"]
+
+
+@pytest.fixture(scope="module")
+def live():
+    graph, _ = two_random_components_with_bridge(5, 0.8, random.Random(11))
+    frozen = graph.freeze()
+    n = frozen.num_vertices()
+    family = SketchFamily.incidence(
+        L0Config.for_universe(n * n),
+        PublicCoins(seed=2020),
+        ("golden/0", "golden/1"),
+        magnitude=n,
+    )
+    return family, family.build_states(frozen, n)
+
+
+def test_family_fingerprint_is_pinned(golden_states, live):
+    family, _ = live
+    assert family.params.cache_token == golden_states["family_token"]
+    assert family.params.num_cells == golden_states["num_cells"]
+
+
+def test_state_arrays_are_pinned(golden_states, live):
+    _, states = live
+    assert {str(v) for v in states} == set(golden_states["players"])
+    for v, state in states.items():
+        expected = golden_states["players"][str(v)]
+        assert list(state.totals) == expected["totals"], v
+        assert list(state.index_sums) == expected["index_sums"], v
+        assert [str(f) for f in state.fingerprints] == expected["fingerprints"], v
+
+
+def test_pinned_states_survive_the_wire(golden_states, live):
+    family, states = live
+    for v, state in states.items():
+        back = L0FamilyState.decode(state.to_message().reader(), family.params)
+        assert list(back.totals) == list(state.totals), v
+        assert list(back.index_sums) == list(state.index_sums), v
+        assert list(back.fingerprints) == list(state.fingerprints), v
