@@ -1,10 +1,23 @@
-.PHONY: install test bench bench-sketches report examples all
+.PHONY: install test conformance golden-verify bench bench-sketches report examples all
 
 install:
 	pip install -e .
 
+# Tier-1 verify: matches CI and works from a clean checkout with no
+# editable install (the source tree is put on PYTHONPATH directly).
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+# Fixed-seed conformance smoke sweep (see docs/testing.md).  On failure
+# it writes conformance_bundle.json; replay with
+# `repro conformance shrink --bundle conformance_bundle.json`.
+conformance:
+	PYTHONPATH=src python -m repro conformance run --seed 0 --budget 200
+
+# Re-derive every golden vector and diff against tests/data/ without
+# rewriting anything.
+golden-verify:
+	PYTHONPATH=src python scripts/dump_golden_vectors.py --verify
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -19,4 +32,4 @@ report:
 examples:
 	for f in examples/*.py; do python $$f; done
 
-all: test bench report
+all: test conformance bench report

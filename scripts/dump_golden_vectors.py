@@ -20,13 +20,22 @@ The script is representation-agnostic so the same fixtures can be
 produced by the per-bit-list codec (pre-refactor) and the packed-bytes
 codec (post-refactor): it uses ``Message.to_bytes()`` when available and
 falls back to packing the ``bits`` tuple itself.
+
+``--verify`` re-derives every golden vector — the message/sketch-state
+fixtures above *and* the lemma quantities in
+``tests/data/golden_lemmas.json`` — and diffs them against the files on
+disk without rewriting anything.  Exit code 0 means every pin still
+matches; 1 lists what drifted.  ``make golden-verify`` wraps it.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import json
+import math
 import random
+import re
 import sys
 from pathlib import Path
 
@@ -204,13 +213,164 @@ def build_sketch_states(coins, graph) -> dict:
     }
 
 
-def main() -> None:
+LEMMAS = OUT.parent / "golden_lemmas.json"
+
+#: Tolerances mirror tests/test_lemma_golden.py: probabilities and
+#: expectations are pinned to 1e-12, entropic quantities to 1e-9, and
+#: bit counts / lemma booleans exactly.
+_PROB_TOL = 1e-12
+_ENTROPY_TOL = 1e-9
+
+#: Fields of a golden lemma record, with the comparison each one gets.
+_LEMMA_FIELDS = {
+    "expected_mu": _PROB_TOL,
+    "error_probability": _PROB_TOL,
+    "worst_case_bits": "exact",
+    "information_revealed": _ENTROPY_TOL,
+    "lemma33_implied_bound": _ENTROPY_TOL,
+    "public_entropy": _ENTROPY_TOL,
+    "lemma34_rhs": _ENTROPY_TOL,
+    "lemma33_holds": "exact",
+    "lemma34_holds": "exact",
+    "lemma35_all_hold": "exact",
+}
+
+
+def _lemma_protocol(name: str):
+    from repro.protocols import FullNeighborhoodMatching, SampledEdgesMatching
+
+    if name == "full-neighborhood-matching":
+        return FullNeighborhoodMatching()
+    match = re.fullmatch(r"sampled-edges-matching\((\d+)\)", name)
+    if match:
+        return SampledEdgesMatching(int(match.group(1)))
+    raise ValueError(f"unknown golden protocol {name!r}")
+
+
+def _rederive_lemma_record(record: dict) -> dict:
+    from repro.lowerbound import analyze_protocol, micro_distribution
+
+    hard = micro_distribution(r=record["r"], t=record["t"], k=record["k"])
+    analysis = analyze_protocol(
+        hard, _lemma_protocol(record["protocol"]), PublicCoins(seed=SEED)
+    )
+    fresh = {name: getattr(analysis, name) for name in _LEMMA_FIELDS}
+    fresh["lemma33_holds"] = analysis.lemma33_holds()
+    fresh["lemma34_holds"] = analysis.lemma34_holds()
+    fresh["lemma35_all_hold"] = analysis.lemma35_all_hold()
+    fresh["unique_information"] = [
+        analysis.unique_information(j) for j in range(len(record["unique_information"]))
+    ]
+    fresh["unique_entropy"] = [
+        analysis.unique_entropy(j) for j in range(len(record["unique_entropy"]))
+    ]
+    return fresh
+
+
+def _diff_scalar(label: str, pinned, fresh, tolerance, diffs: list[str]) -> None:
+    if tolerance == "exact":
+        if fresh != pinned:
+            diffs.append(f"{label}: pinned {pinned!r}, rederived {fresh!r}")
+        return
+    if not math.isclose(fresh, pinned, rel_tol=0.0, abs_tol=tolerance):
+        diffs.append(
+            f"{label}: pinned {pinned!r}, rederived {fresh!r} "
+            f"(|delta| {abs(fresh - pinned):.3e} > {tolerance:g})"
+        )
+
+
+def verify_lemmas() -> list[str]:
+    """Re-derive every golden lemma record; the list of drifted fields."""
+    diffs: list[str] = []
+    if not LEMMAS.exists():
+        return [f"{LEMMAS} is missing"]
+    for record in json.loads(LEMMAS.read_text()):
+        case = (
+            f"r{record['r']}t{record['t']}k{record['k']}-{record['protocol']}"
+        )
+        fresh = _rederive_lemma_record(record)
+        for name, tolerance in _LEMMA_FIELDS.items():
+            _diff_scalar(f"{case}.{name}", record[name], fresh[name], tolerance, diffs)
+        for field in ("unique_information", "unique_entropy"):
+            for j, pinned in enumerate(record[field]):
+                _diff_scalar(
+                    f"{case}.{field}[{j}]",
+                    pinned,
+                    fresh[field][j],
+                    _ENTROPY_TOL,
+                    diffs,
+                )
+    return diffs
+
+
+def _diff_json(label: str, pinned, fresh, diffs: list[str]) -> None:
+    """Structural exact diff with per-path messages (messages are pinned
+    bit-for-bit, so no tolerance applies)."""
+    if isinstance(pinned, dict) and isinstance(fresh, dict):
+        for key in sorted(set(pinned) | set(fresh)):
+            if key not in pinned:
+                diffs.append(f"{label}.{key}: not pinned but rederived")
+            elif key not in fresh:
+                diffs.append(f"{label}.{key}: pinned but no longer derived")
+            else:
+                _diff_json(f"{label}.{key}", pinned[key], fresh[key], diffs)
+        return
+    if isinstance(pinned, list) and isinstance(fresh, list):
+        if len(pinned) != len(fresh):
+            diffs.append(
+                f"{label}: length {len(pinned)} pinned vs {len(fresh)} rederived"
+            )
+            return
+        for i, (p, f) in enumerate(zip(pinned, fresh)):
+            _diff_json(f"{label}[{i}]", p, f, diffs)
+        return
+    if pinned != fresh:
+        diffs.append(f"{label}: pinned {pinned!r}, rederived {fresh!r}")
+
+
+def verify_messages() -> list[str]:
+    """Re-run every pinned protocol; exact-diff against the golden file."""
+    if not OUT.exists():
+        return [f"{OUT} is missing"]
+    pinned = json.loads(OUT.read_text())
+    # Round-trip through JSON so tuples/ints compare like the file does.
+    fresh = json.loads(json.dumps(build_golden(), sort_keys=True))
+    diffs: list[str] = []
+    _diff_json("golden_messages", pinned, fresh, diffs)
+    return diffs
+
+
+def verify(max_diffs: int = 40) -> int:
+    diffs = verify_messages() + verify_lemmas()
+    if not diffs:
+        print(f"golden vectors verified: {OUT.name} and {LEMMAS.name} match")
+        return 0
+    print(f"golden vectors DRIFTED ({len(diffs)} differences):")
+    for line in diffs[:max_diffs]:
+        print(f"  {line}")
+    if len(diffs) > max_diffs:
+        print(f"  ... and {len(diffs) - max_diffs} more")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive all golden vectors and diff against tests/data "
+        "without rewriting anything",
+    )
+    args = parser.parse_args(argv)
+    if args.verify:
+        return verify()
     golden = build_golden()
     OUT.parent.mkdir(parents=True, exist_ok=True)
     OUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
     total = sum(len(c["players"]) for c in golden["cases"].values())
     print(f"wrote {OUT} ({len(golden['cases'])} cases, {total} messages)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

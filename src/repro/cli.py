@@ -19,6 +19,11 @@ with its wall clock, backend policy, and cache traffic.
 support it (the L33/L34/L35 lemma checkers) then enumerate their joint
 distributions in the columnar kernel's Fraction mode — probabilities,
 expected values, and error rates become exact rationals.
+
+``repro conformance {run,shrink,list}`` drives the conformance
+subsystem: deterministic differential/metamorphic fuzzing of every
+fast↔reference oracle pair, with greedy counterexample shrinking and
+replayable JSON repro bundles (see ``docs/testing.md``).
 """
 
 from __future__ import annotations
@@ -280,6 +285,9 @@ def main(argv: list[str] | None = None) -> int:
     attack_parser.add_argument("--seed", type=int, default=0)
     _add_engine_flags(attack_parser)
     sub.add_parser("info", help="package summary")
+    from .conformance.cli import add_conformance_parser
+
+    add_conformance_parser(sub)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -298,6 +306,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "info":
         return cmd_info()
+    if args.command == "conformance":
+        from .conformance.cli import dispatch
+
+        return dispatch(args)
     parser.print_help()
     return 2
 

@@ -1,0 +1,96 @@
+"""Fuzz-case model: seed-addressed, JSON-replayable, shrinkable.
+
+A :class:`Case` is everything one conformance check needs, and nothing
+else: the oracle pair it targets, the 63-bit seed its randomness was
+derived from, a small dict of scalar ``params``, and a flat list of
+``atoms``.  Atoms are the unit of shrinking — the greedy minimizer in
+:mod:`repro.conformance.fuzz` only ever *deletes* atoms, so every pair's
+checker must accept any subsequence of a generated atom list (degenerate
+subsequences may pass vacuously; they must never crash the harness).
+
+Cases round-trip through JSON verbatim (the repro bundle format), and
+case generation is a pure function of ``(base_seed, pair_name, index)``
+through the engine's SHA-256 seed streams — the same derivation the
+trial batches use — so a bundle replays bit-identically on any machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..engine import derive_seed
+
+#: Bump when the case JSON layout changes (bundle compatibility guard).
+CASE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Case:
+    """One replayable conformance check input."""
+
+    pair: str
+    seed: int
+    params: dict[str, Any] = field(default_factory=dict)
+    atoms: tuple = ()
+
+    def rng(self, *path: object) -> random.Random:
+        """A deterministic sub-RNG for law-internal randomness.
+
+        Laws must not consume the generation stream (the atoms already
+        encode it); they derive fresh, label-separated streams from the
+        case seed instead, so adding a law never perturbs another.
+        """
+        return random.Random(derive_seed(self.seed, "case-law", *path))
+
+    def replace_atoms(self, atoms) -> "Case":
+        """The same case over a different atom subsequence (shrink step)."""
+        return Case(
+            pair=self.pair,
+            seed=self.seed,
+            params=dict(self.params),
+            atoms=tuple(atoms),
+        )
+
+    # ------------------------------------------------------------------
+    # Bundle (de)serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The bundle-JSON form of this case (see ``from_json``)."""
+        return {
+            "version": CASE_FORMAT_VERSION,
+            "pair": self.pair,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "atoms": [list(a) if isinstance(a, (list, tuple)) else a
+                      for a in self.atoms],
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "Case":
+        version = blob.get("version", CASE_FORMAT_VERSION)
+        if version != CASE_FORMAT_VERSION:
+            raise ValueError(
+                f"case format v{version} not supported (expected "
+                f"v{CASE_FORMAT_VERSION}); regenerate the bundle"
+            )
+        return cls(
+            pair=blob["pair"],
+            seed=int(blob["seed"]),
+            params=dict(blob.get("params", {})),
+            atoms=tuple(
+                tuple(a) if isinstance(a, list) else a
+                for a in blob.get("atoms", [])
+            ),
+        )
+
+
+def case_seed(base_seed: int, pair_name: str, index: int) -> int:
+    """The seed of fuzz case ``index`` of one pair's stream."""
+    return derive_seed(base_seed, "conformance", pair_name, index)
+
+
+def case_rng(seed: int) -> random.Random:
+    """The generation RNG of a case seed (one stream per case)."""
+    return random.Random(seed)

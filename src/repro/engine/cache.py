@@ -12,7 +12,11 @@ Two tiers:
 * an in-memory LRU (bounded by entry count — constructions at laptop
   scale are small), always on unless the cache is disabled;
 * an optional on-disk pickle tier under a directory such as
-  ``.repro_cache/``, for reuse across processes and runs.
+  ``.repro_cache/``, for reuse across processes and runs.  Disk entries
+  are framed with a magic tag and a SHA-256 checksum of the pickled
+  payload: a truncated, bit-flipped, or otherwise corrupt file can never
+  deserialize into a wrong value — it reads as a miss, the construction
+  reruns, and the bad entry is overwritten with a good one.
 
 The default cache is process-global and configurable from the CLI
 (``--cache-dir``, ``--no-cache``) or environment (``REPRO_CACHE_DIR``,
@@ -40,6 +44,12 @@ T = TypeVar("T")
 #: serialization) — bumped so digest-keyed entries can never collide
 #: with stale pickle/repr-keyed v1 entries on disk.
 CACHE_SCHEMA_VERSION = 2
+
+#: On-disk entry framing: magic + SHA-256(payload) + pickled payload.
+#: Unframed (pre-checksum) files fail the magic check and read as
+#: misses, so the format change needs no schema bump.
+_DISK_MAGIC = b"RPROCACHE1\n"
+_DISK_DIGEST_SIZE = hashlib.sha256().digest_size
 
 
 def _render(part: Any) -> str:
@@ -166,10 +176,24 @@ class ConstructionCache:
         if path is None or not path.exists():
             return None
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        header = len(_DISK_MAGIC) + _DISK_DIGEST_SIZE
+        if len(blob) < header or not blob.startswith(_DISK_MAGIC):
+            # Unframed, truncated, or foreign file: a miss, not an error.
+            return None
+        checksum = blob[len(_DISK_MAGIC) : header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != checksum:
+            # Truncation or bit rot after the header: the payload can no
+            # longer be trusted to unpickle into the stored value.
+            return None
+        try:
+            return pickle.loads(payload)
         except Exception:
-            # A corrupt or incompatible file is a miss, not an error.
+            # A checksum-valid but unloadable payload (e.g. a pickle of a
+            # class this build no longer defines) is still just a miss.
             return None
 
     def _store_to_disk(self, key: str, value: Any) -> None:
@@ -177,17 +201,22 @@ class ConstructionCache:
         if path is None:
             return
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(_DISK_MAGIC)
+                    fh.write(hashlib.sha256(payload).digest())
+                    fh.write(payload)
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
             # Disk tier is best-effort; memory tier already holds the value.
+            pass
+        except pickle.PicklingError:
             pass
 
 

@@ -1,0 +1,100 @@
+"""Disk-cache corruption robustness (Hypothesis).
+
+Disk entries are framed magic + SHA-256(payload) + pickle(payload).  The
+property under test: *no* corruption of the entry file — truncation at
+any offset, a bit flip at any position, or arbitrary replacement bytes —
+may ever surface a wrong value.  Corrupt entries read as misses, the
+construction reruns, and the overwritten entry is loadable again.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cache import ConstructionCache
+
+#: A representative construction payload: nested, tuple-heavy, hashable
+#: parts — the same shape the graph/distribution builders store.
+VALUE = {"rows": [(1, 2, 3), (4, 5, 6)], "token": "deadbeef", "n": 12}
+KEY_PARTS = ("robustness", 12, "x")
+
+
+def _seeded_cache(directory) -> Path:
+    """Write one good entry via the public API; its file path."""
+    cache = ConstructionCache(directory=directory)
+    built = cache.get_or_build(KEY_PARTS, lambda: dict(VALUE))
+    assert built == VALUE
+    files = list(Path(directory).glob("*.pkl"))
+    assert len(files) == 1
+    return files[0]
+
+
+def _assert_recovers(directory, entry: Path):
+    """A fresh cache must recompute, return the right value, and heal
+    the on-disk entry."""
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return dict(VALUE)
+
+    fresh = ConstructionCache(directory=directory)
+    assert fresh.get_or_build(KEY_PARTS, builder) == VALUE
+    assert calls, "corrupt entry was served instead of recomputed"
+    assert fresh.stats.disk_hits == 0
+    # The bad entry was overwritten: a third cache loads it from disk.
+    reader = ConstructionCache(directory=directory)
+    assert reader.get_or_build(KEY_PARTS, lambda: None) == VALUE
+    assert reader.stats.disk_hits == 1
+
+
+@given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+@settings(max_examples=25, deadline=None)
+def test_truncated_entry_falls_back_and_heals(fraction):
+    with tempfile.TemporaryDirectory() as directory:
+        entry = _seeded_cache(directory)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: int(len(blob) * fraction)])
+        _assert_recovers(directory, entry)
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_bit_flipped_entry_falls_back_and_heals(data):
+    with tempfile.TemporaryDirectory() as directory:
+        entry = _seeded_cache(directory)
+        blob = bytearray(entry.read_bytes())
+        pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[pos] ^= 1 << bit
+        entry.write_bytes(bytes(blob))
+        _assert_recovers(directory, entry)
+
+
+@given(junk=st.binary(max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_garbage_entry_falls_back_and_heals(junk):
+    with tempfile.TemporaryDirectory() as directory:
+        entry = _seeded_cache(directory)
+        entry.write_bytes(junk)
+        _assert_recovers(directory, entry)
+
+
+def test_intact_entry_still_disk_hits():
+    # Sanity: the framing itself round-trips (no false misses).
+    with tempfile.TemporaryDirectory() as directory:
+        _seeded_cache(directory)
+        reader = ConstructionCache(directory=directory)
+        assert reader.get_or_build(KEY_PARTS, lambda: None) == VALUE
+        assert reader.stats.disk_hits == 1
+
+
+def test_legacy_unframed_entry_is_a_miss():
+    # Pre-checksum files (raw pickle, no magic) read as misses too.
+    import pickle
+
+    with tempfile.TemporaryDirectory() as directory:
+        entry = _seeded_cache(directory)
+        entry.write_bytes(pickle.dumps({"stale": True}))
+        _assert_recovers(directory, entry)

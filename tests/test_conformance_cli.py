@@ -1,0 +1,156 @@
+"""`repro conformance {run,shrink,list}` end to end through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import FrozenGraph
+
+
+@pytest.fixture()
+def bundle_path(tmp_path):
+    return str(tmp_path / "bundle.json")
+
+
+def _inject_degree_fault(monkeypatch, vertex=3):
+    real = FrozenGraph.degree
+
+    def lying(self, v):
+        value = real(self, v)
+        return value + 1 if v == vertex else value
+
+    monkeypatch.setattr(FrozenGraph, "degree", lying)
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self, capsys, tmp_path, bundle_path):
+        code = main([
+            "conformance", "run", "--seed", "0", "--budget", "10",
+            "--bundle", bundle_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conformance: seed=0 budget=10" in out
+        assert "[ok]" in out and "FAIL" not in out
+        assert not (tmp_path / "bundle.json").exists()
+
+    def test_layer_filter(self, capsys, bundle_path):
+        code = main([
+            "conformance", "run", "--seed", "0", "--budget", "4",
+            "--layer", "codec", "--bundle", bundle_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "codec" in out
+        for absent in ("graphs", "infotheory", "sketches", "engine"):
+            assert absent not in out
+
+    def test_pair_filter(self, capsys, bundle_path):
+        code = main([
+            "conformance", "run", "--seed", "0", "--budget", "3",
+            "--pair", "infotheory", "--bundle", bundle_path,
+        ])
+        assert code == 0
+        assert "infotheory" in capsys.readouterr().out
+
+    def test_unknown_layer_is_an_error(self, bundle_path):
+        with pytest.raises(KeyError):
+            main([
+                "conformance", "run", "--budget", "2", "--layer", "nope",
+                "--bundle", bundle_path,
+            ])
+
+    def test_failure_writes_bundle_and_exits_one(
+        self, capsys, monkeypatch, bundle_path
+    ):
+        _inject_degree_fault(monkeypatch)
+        code = main([
+            "conformance", "run", "--seed", "0", "--budget", "20",
+            "--layer", "graphs", "--bundle", bundle_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL graphs/" in out
+        assert "wrote repro bundle" in out
+        bundle = json.loads(open(bundle_path).read())
+        assert bundle["ok"] is False
+        assert bundle["failures"]
+        recorded = bundle["failures"][0]
+        assert recorded["pair"] == "graphs"
+        # Shrinking happened: the minimal case is a strict subsequence.
+        assert len(recorded["shrunk_case"]["atoms"]) < len(
+            recorded["case"]["atoms"]
+        )
+
+
+class TestShrink:
+    def _make_bundle(self, monkeypatch, bundle_path):
+        _inject_degree_fault(monkeypatch)
+        assert main([
+            "conformance", "run", "--seed", "0", "--budget", "20",
+            "--layer", "graphs", "--bundle", bundle_path, "--no-shrink",
+        ]) == 1
+
+    def test_shrink_reproduces_live_fault(
+        self, capsys, monkeypatch, bundle_path
+    ):
+        self._make_bundle(monkeypatch, bundle_path)
+        capsys.readouterr()
+        code = main(["conformance", "shrink", "--bundle", bundle_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimal case" in out
+        assert "graphs/" in out
+
+    def test_shrink_reports_fixed_fault(
+        self, capsys, monkeypatch, bundle_path
+    ):
+        self._make_bundle(monkeypatch, bundle_path)
+        monkeypatch.undo()
+        capsys.readouterr()
+        code = main(["conformance", "shrink", "--bundle", bundle_path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "none of the" in out
+
+    def test_shrink_writes_reshrunk_bundle(
+        self, capsys, monkeypatch, bundle_path, tmp_path
+    ):
+        self._make_bundle(monkeypatch, bundle_path)
+        out_path = str(tmp_path / "reshrunk.json")
+        assert main([
+            "conformance", "shrink", "--bundle", bundle_path,
+            "--out", out_path,
+        ]) == 0
+        capsys.readouterr()
+        reshrunk = json.loads(open(out_path).read())
+        recorded = json.loads(open(bundle_path).read())
+        # --no-shrink recorded the raw case; the shrink pass minimized it.
+        assert len(reshrunk["failures"][0]["shrunk_case"]["atoms"]) < len(
+            recorded["failures"][0]["shrunk_case"]["atoms"]
+        )
+
+    def test_shrink_missing_bundle(self, bundle_path):
+        with pytest.raises(FileNotFoundError):
+            main(["conformance", "shrink", "--bundle", bundle_path])
+
+    def test_shrink_rejects_foreign_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "failures": []}))
+        with pytest.raises(ValueError):
+            main(["conformance", "shrink", "--bundle", str(path)])
+
+
+class TestList:
+    def test_list_prints_registry(self, capsys):
+        assert main(["conformance", "list"]) == 0
+        out = capsys.readouterr().out
+        for pair in ("codec", "graphs", "infotheory", "sketches", "engine"):
+            assert pair in out
+        for law in ("roundtrip", "sketch-linearity", "cancellation"):
+            assert law in out
+
+    def test_bare_conformance_prints_usage(self, capsys):
+        assert main(["conformance"]) == 2
+        assert "usage" in capsys.readouterr().out

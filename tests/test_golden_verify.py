@@ -1,0 +1,88 @@
+"""`dump_golden_vectors.py --verify`: re-derive-and-diff without rewriting."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+LEMMAS_PATH = ROOT / "tests" / "data" / "golden_lemmas.json"
+
+
+@pytest.fixture(scope="module")
+def dump():
+    spec = importlib.util.spec_from_file_location(
+        "dump_golden_vectors", ROOT / "scripts" / "dump_golden_vectors.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_verify_passes_on_pinned_fixtures(dump, capsys):
+    assert dump.main(["--verify"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_verify_never_rewrites(dump, capsys):
+    before = (
+        dump.OUT.read_bytes(),
+        LEMMAS_PATH.read_bytes(),
+        dump.OUT.stat().st_mtime_ns,
+    )
+    dump.main(["--verify"])
+    capsys.readouterr()
+    assert dump.OUT.read_bytes() == before[0]
+    assert LEMMAS_PATH.read_bytes() == before[1]
+    assert dump.OUT.stat().st_mtime_ns == before[2]
+
+
+def test_verify_catches_lemma_drift(dump, capsys, monkeypatch):
+    records = json.loads(LEMMAS_PATH.read_text())
+    records[0]["expected_mu"] += 1e-6
+    records[1]["worst_case_bits"] += 1
+
+    real_loads = json.loads
+
+    def drifted_loads(text, *a, **kw):
+        value = real_loads(text, *a, **kw)
+        if isinstance(value, list) and value and "expected_mu" in value[0]:
+            return records
+        return value
+
+    monkeypatch.setattr(dump.json, "loads", drifted_loads)
+    assert dump.main(["--verify"]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFTED" in out
+    assert "expected_mu" in out
+    assert "worst_case_bits" in out
+
+
+def test_verify_catches_message_drift(dump, capsys, monkeypatch):
+    real = dump.build_golden
+
+    def drifted():
+        golden = real()
+        case = golden["cases"]["registry/full"]
+        player = sorted(case["players"])[0]
+        case["players"][player]["num_bits"] += 1
+        return golden
+
+    monkeypatch.setattr(dump, "build_golden", drifted)
+    assert dump.main(["--verify"]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFTED" in out
+    assert "registry/full" in out and "num_bits" in out
+
+
+def test_verify_tolerates_float_noise(dump):
+    # A sub-tolerance perturbation (1e-13 < 1e-12) is not drift.
+    record = json.loads(LEMMAS_PATH.read_text())[0]
+    fresh = dump._rederive_lemma_record(record)
+    diffs = []
+    dump._diff_scalar(
+        "x", record["expected_mu"] + 1e-13, fresh["expected_mu"],
+        dump._PROB_TOL, diffs,
+    )
+    assert diffs == []
