@@ -1,4 +1,4 @@
-.PHONY: install test conformance golden-verify bench bench-sketches report examples all
+.PHONY: install test conformance golden-verify bench bench-sketches bench-runs report sweep-smoke examples all
 
 install:
 	pip install -e .
@@ -25,9 +25,21 @@ bench:
 bench-sketches:
 	python benchmarks/bench_sketches.py --out BENCH_sketches.json
 
+bench-runs:
+	python benchmarks/bench_runs.py --out BENCH_runs.json
+
+# REPORT.md is rendered from the content-addressed run store
+# (.repro_runs by default): warm records are served bit-for-bit,
+# missing ones are executed and stored (see docs/runs.md).
 report:
 	python scripts/run_experiments.py
 	python scripts/generate_report.py REPORT.md
+
+# The resume-by-addressing smoke from CI: sweep, kill after one point,
+# relaunch — the second launch must skip the stored point.
+sweep-smoke:
+	PYTHONPATH=src python -m repro sweep F1 --grid m=8,10 --store .repro_runs --max-points 1
+	PYTHONPATH=src python -m repro sweep F1 --grid m=8,10 --store .repro_runs
 
 examples:
 	for f in examples/*.py; do python $$f; done

@@ -1,57 +1,56 @@
-"""Generate a full reproduction report (markdown) from live experiment runs.
+"""Generate the full reproduction report (markdown) from the run store.
 
-    python scripts/generate_report.py [output.md]
+    python scripts/generate_report.py [output.md] [--store DIR] [--fresh]
 
-Runs every registered experiment with its defaults and writes one
-markdown document: table of contents, one section per experiment with
-its rendered tables, and the wall-clock time of each run.  This is the
-automated companion of the hand-annotated EXPERIMENTS.md.
+The report is a *rendering* of stored run records: each registered
+experiment's default-parameter record is served from the run store when
+present (bit-for-bit the lines the original run produced, with its
+recorded wall clock) and executed+stored only when missing.  A warm
+store therefore regenerates REPORT.md without re-running anything;
+``--fresh`` forces every section to re-execute and supersede its
+stored record.  This is the automated companion of the hand-annotated
+EXPERIMENTS.md and the script behind ``repro report``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
 from pathlib import Path
 
-from repro import __version__
-from repro.experiments import all_experiments
+from repro.runs import RunStore, generate_report
 
 
-def generate(path: Path) -> None:
-    lines: list[str] = [
-        "# Reproduction report (auto-generated)",
-        "",
-        f"Package version {__version__}; regenerate with "
-        "`python scripts/generate_report.py`.",
-        "",
-        "## Contents",
-        "",
-    ]
-    experiments = all_experiments()
-    for exp in experiments:
-        anchor = exp.experiment_id.lower().replace(" ", "-")
-        lines.append(f"* [{exp.experiment_id} — {exp.title}](#{anchor})")
-    lines.append("")
+def main(argv: list[str]) -> None:
+    """Parse flags and render the report from (or into) the store."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "output", nargs="?", default="REPORT.md", help="output markdown path"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="run-store root (default: $REPRO_RUNS_DIR or .repro_runs)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="re-execute every experiment instead of reusing stored records",
+    )
+    args = parser.parse_args(argv)
 
-    for exp in experiments:
-        start = time.time()
-        report = exp.run()
-        elapsed = time.time() - start
-        lines.append(f"## {exp.experiment_id}")
-        lines.append("")
-        lines.append(f"**{exp.title}** — paper reference: {exp.paper_reference}")
-        lines.append("")
-        lines.append("```text")
-        lines.extend(report.lines)
-        lines.append("```")
-        lines.append("")
-        lines.append(f"_(ran in {elapsed:.2f}s)_")
-        lines.append("")
-    path.write_text("\n".join(lines))
-    print(f"wrote {path} ({len(lines)} lines, {len(experiments)} experiments)")
+    store = RunStore(args.store)
+    text, outcomes = generate_report(
+        store, Path(args.output), fresh=args.fresh
+    )
+    executed = sum(1 for o in outcomes if o.executed)
+    print(
+        f"wrote {args.output} ({len(text.splitlines())} lines, "
+        f"{len(outcomes)} experiments; {len(outcomes) - executed} from "
+        f"store, {executed} executed)"
+    )
 
 
 if __name__ == "__main__":
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("REPORT.md")
-    generate(target)
+    main(sys.argv[1:])

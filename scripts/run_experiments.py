@@ -6,23 +6,37 @@ This is the reproduction driver behind EXPERIMENTS.md:
     python scripts/run_experiments.py T1b C31            # a subset
     python scripts/run_experiments.py --workers 4        # parallel trials
     python scripts/run_experiments.py --cache-dir .repro_cache
+    python scripts/run_experiments.py --store .repro_runs  # record durably
+
+It speaks only the public runs API (``repro.runs``): engine
+construction, spec-validated dispatch, and the summary line are the
+same code paths the ``repro`` CLI uses, and ``--store`` additionally
+records every run as a content-addressed ``RunRecord`` (re-invocations
+then serve finished runs from the store).
 """
 
 import argparse
 import sys
 import time
 
-from repro.cli import _engine_summary, _parse_workers, _run_with_engine
-from repro.engine import ExecutionEngine, configure_cache, set_default_engine
 from repro.experiments import all_experiments, get_experiment
+from repro.runs import (
+    RunStore,
+    build_engine,
+    engine_summary,
+    execute_run,
+    parse_workers,
+    run_with_engine,
+)
 
 
 def main(argv: list[str]) -> None:
+    """Parse flags, run the selected experiments, print their reports."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     parser.add_argument(
         "--workers",
-        type=_parse_workers,
+        type=parse_workers,
         default=None,
         help="worker processes: an integer or 'auto'",
     )
@@ -32,25 +46,45 @@ def main(argv: list[str]) -> None:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the construction cache"
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="record each run in (and reuse finished runs from) a run store",
+    )
     args = parser.parse_args(argv)
 
-    cache = configure_cache(directory=args.cache_dir, enabled=not args.no_cache)
-    engine = set_default_engine(ExecutionEngine(workers=args.workers, cache=cache))
+    engine = build_engine(
+        workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
+    store = RunStore(args.store) if args.store is not None else None
 
     if args.experiments:
         experiments = [get_experiment(exp_id) for exp_id in args.experiments]
     else:
         experiments = all_experiments()
     for experiment in experiments:
-        before = engine.cache.stats.snapshot()
-        start = time.time()
-        report = _run_with_engine(experiment, {}, engine)
-        elapsed = time.time() - start
-        print(report.render())
-        print(
-            f"{_engine_summary(engine, elapsed, before)} "
-            f"(paper ref: {experiment.paper_reference})"
-        )
+        if store is not None:
+            outcome = execute_run(
+                experiment.experiment_id, {}, engine=engine, store=store
+            )
+            record = outcome.record
+            print(record.render())
+            origin = "stored record" if outcome.cached else "recorded"
+            print(
+                f"({origin} {record.key[:12]}; ran in {record.wall_time:.2f}s) "
+                f"(paper ref: {experiment.paper_reference})"
+            )
+        else:
+            before = engine.cache.stats.snapshot()
+            start = time.time()
+            report = run_with_engine(experiment, {}, engine)
+            elapsed = time.time() - start
+            print(report.render())
+            print(
+                f"{engine_summary(engine, elapsed, before)} "
+                f"(paper ref: {experiment.paper_reference})"
+            )
         print()
 
 

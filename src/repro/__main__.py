@@ -4,4 +4,10 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Piping a multi-line view into ``head`` closes stdout early; exit
+    # quietly like any well-behaved filter instead of tracebacking.
+    sys.stderr.close()
+    sys.exit(0)

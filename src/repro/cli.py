@@ -1,24 +1,42 @@
 """Command-line interface for the reproduction.
 
     python -m repro list                 # all experiments
-    python -m repro run T1b [--kw m=16 k=4 trials=10]
+    python -m repro run T1b [--kw m=16 k=4 trials=10] [--store DIR]
     python -m repro run-all
+    python -m repro sweep T1b --grid m=8,12,16 k=2,4 --trials 20
+    python -m repro report [--out REPORT.md]
+    python -m repro runs list|show|diff  # inspect stored run records
     python -m repro attack sampled:2 --m 12 --k 4 --trials 20
     python -m repro info                 # package + paper summary
 
-Keyword overrides are parsed as ints when possible, floats next, and
-strings otherwise — enough to steer every registered experiment.
+Keyword overrides are parsed as ints when possible, floats next, the
+words ``true``/``false``/``none`` as the real Python values, and
+strings otherwise; each is then validated against the experiment's
+declared parameter spec, so an unknown name or a mistyped value fails
+with the declared vocabulary before anything runs.
 
-``run``, ``run-all``, and ``attack`` take the shared engine flags:
-``--workers N`` (or ``auto``) parallelizes trial batches over a process
-pool, ``--cache-dir PATH`` persists the construction cache on disk, and
-``--no-cache`` disables caching.  Each experiment prints a summary line
-with its wall clock, backend policy, and cache traffic.
+``run``, ``run-all``, ``sweep``, ``report``, and ``attack`` take the
+shared engine flags: ``--workers N`` (or ``auto``) parallelizes over a
+process pool, ``--cache-dir PATH`` persists the construction cache on
+disk, and ``--no-cache`` disables caching.  Each experiment prints a
+summary line with its wall clock, backend policy, and cache traffic.
 
 ``run`` and ``run-all`` additionally accept ``--exact``: runners that
 support it (the L33/L34/L35 lemma checkers) then enumerate their joint
-distributions in the columnar kernel's Fraction mode — probabilities,
-expected values, and error rates become exact rationals.
+distributions in the columnar kernel's Fraction mode.
+
+The runs pipeline (see ``docs/runs.md``):
+
+* ``sweep EXP --grid name=v1,v2 ...`` expands a declared parameter
+  grid, content-addresses every point, executes **only the points the
+  run store does not already hold** (so a killed sweep resumes where it
+  died), and records each finished point durably;
+* ``report`` renders REPORT.md from stored default-parameter records,
+  executing and storing only the missing ones (``--fresh`` re-runs);
+* ``runs list`` / ``runs show KEY`` / ``runs diff KEY KEY`` inspect and
+  compare stored records — keys may be unique prefixes as printed by
+  ``list``.  The store root is ``--store`` / ``$REPRO_RUNS_DIR`` /
+  ``.repro_runs``.
 
 ``repro conformance {run,shrink,list}`` drives the conformance
 subsystem: deterministic differential/metamorphic fuzzing of every
@@ -29,60 +47,66 @@ replayable JSON repro bundles (see ``docs/testing.md``).
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 
 from . import __version__
-from .engine import (
-    ExecutionEngine,
-    configure_cache,
-    set_default_engine,
-    workers_from_env,
-)
+from .engine import ExecutionEngine
 from .experiments import all_experiments, get_experiment
-from .model import set_batch_sketching
+from .runs import (
+    RunStore,
+    build_engine,
+    engine_summary,
+    execute_run,
+    parse_value,
+    parse_workers,
+    run_sweep,
+    run_with_engine,
+)
+from .runs.report import (
+    diff_records,
+    format_record,
+    format_records_table,
+    generate_report,
+)
 
-
-def _parse_value(raw: str):
-    for cast in (int, float):
-        try:
-            return cast(raw)
-        except ValueError:
-            continue
-    return raw
+#: Backwards-compatible aliases (the public homes are in ``repro.runs``).
+_parse_value = parse_value
+_parse_workers = parse_workers
+_engine_summary = engine_summary
 
 
 def _parse_kwargs(pairs: list[str]) -> dict:
+    """Parse ``key=value`` override pairs into a dict of typed values."""
     out = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"expected key=value, got {pair!r}")
         key, raw = pair.split("=", 1)
-        out[key] = _parse_value(raw)
+        out[key] = parse_value(raw)
     return out
 
 
-def _parse_workers(raw: str):
-    """Validate ``--workers``: a positive integer or the string 'auto'."""
-    if raw == "auto":
-        return raw
-    try:
-        value = int(raw)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer or 'auto', got {raw!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError("workers must be positive")
-    return value
+def _parse_grid(pairs: list[str]) -> dict:
+    """Parse ``name=v1,v2,...`` grid axes into lists of typed values."""
+    grid: dict[str, list] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected name=v1,v2,..., got {pair!r}")
+        name, raw = pair.split("=", 1)
+        if name in grid:
+            raise SystemExit(f"duplicate grid axis {name!r}")
+        grid[name] = [parse_value(part) for part in raw.split(",") if part]
+        if not grid[name]:
+            raise SystemExit(f"empty grid axis {name!r}")
+    return grid
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the shared execution-engine flags to a subcommand."""
     parser.add_argument(
         "--workers",
-        type=_parse_workers,
+        type=parse_workers,
         default=None,
         help="worker processes: an integer, or 'auto' to size by workload",
     )
@@ -104,51 +128,34 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the run-store root flag to a subcommand."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="run-store root (default: $REPRO_RUNS_DIR or .repro_runs)",
+    )
+
+
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
     """Build the engine the flags describe and install it as the default."""
-    cache = configure_cache(
-        directory=getattr(args, "cache_dir", None),
-        enabled=not getattr(args, "no_cache", False),
+    return build_engine(
+        workers=getattr(args, "workers", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        no_cache=getattr(args, "no_cache", False),
+        batch_sketch=not getattr(args, "no_batch_sketch", False),
     )
-    set_batch_sketching(not getattr(args, "no_batch_sketch", False))
-    workers = getattr(args, "workers", None)
-    if workers is None:
-        workers = workers_from_env()
-    return set_default_engine(ExecutionEngine(workers=workers, cache=cache))
-
-
-def _engine_summary(
-    engine: ExecutionEngine, elapsed: float, before: tuple
-) -> str:
-    """One status line: wall clock, backend policy, cache traffic delta."""
-    after = engine.cache.stats.snapshot()
-    hits, misses = after[0] - before[0], after[1] - before[1]
-    cache = "off" if not engine.cache.enabled else f"{hits} hits / {misses} misses"
-    return f"(ran in {elapsed:.2f}s; backend {engine.describe()}; cache {cache})"
-
-
-def _run_with_engine(
-    experiment, overrides: dict, engine: ExecutionEngine, exact: bool = False
-):
-    """Call an experiment runner, passing ``engine=`` when it accepts one.
-
-    ``--exact`` is injected the same way: runners that take an
-    ``exact`` parameter (the lemma checkers) get Fraction-backed
-    distributions; runners that don't are unaffected.
-    """
-    kwargs = dict(overrides)
-    params = inspect.signature(experiment.runner).parameters
-    if "engine" in params:
-        kwargs.setdefault("engine", engine)
-    if exact and "exact" in params:
-        kwargs.setdefault("exact", True)
-    return experiment.run(**kwargs)
 
 
 def cmd_list() -> int:
-    """Print every registered experiment."""
+    """Print every registered experiment with its sweepable axes."""
     for exp in all_experiments():
-        print(f"{exp.experiment_id:7s} {exp.title}  [{exp.paper_reference}]")
+        axes = ",".join(exp.spec.sweepable_names()) or "-"
+        print(
+            f"{exp.experiment_id:7s} {exp.title}  "
+            f"[{exp.paper_reference}]  (axes: {axes})"
+        )
     return 0
 
 
@@ -158,17 +165,43 @@ def cmd_run(
     as_json: bool = False,
     engine: ExecutionEngine | None = None,
     exact: bool = False,
+    store_dir: str | None = None,
 ) -> int:
     """Run one experiment with keyword overrides and print its report.
 
     With ``as_json`` the structured data dict is printed instead of the
-    rendered tables — for downstream plotting pipelines.
+    rendered tables — for downstream plotting pipelines.  With a store
+    the run is recorded (or served from the store when already present).
     """
     experiment = get_experiment(experiment_id)
     engine = engine or ExecutionEngine()
+    if store_dir is not None:
+        outcome = execute_run(
+            experiment_id, overrides, engine=engine, exact=exact,
+            store=RunStore(store_dir),
+        )
+        record = outcome.record
+        if as_json:
+            import json
+
+            print(json.dumps(
+                {"experiment": record.experiment_id, "title": record.title,
+                 "data": record.data},
+                indent=2, default=str,
+            ))
+            return 0
+        print(record.render())
+        print()
+        origin = "stored record" if outcome.cached else "recorded"
+        print(
+            f"({origin} {record.key[:12]}; ran in {record.wall_time:.2f}s; "
+            f"backend {record.engine.get('backend', '?')}; cache "
+            f"{record.cache_hits} hits / {record.cache_misses} misses)"
+        )
+        return 0
     before = engine.cache.stats.snapshot()
     start = time.time()
-    report = _run_with_engine(experiment, overrides, engine, exact)
+    report = run_with_engine(experiment, overrides, engine, exact)
     elapsed = time.time() - start
     if as_json:
         import json
@@ -181,7 +214,7 @@ def cmd_run(
         return 0
     print(report.render())
     print()
-    print(_engine_summary(engine, elapsed, before))
+    print(engine_summary(engine, elapsed, before))
     return 0
 
 
@@ -193,12 +226,82 @@ def cmd_run_all(
     for exp in all_experiments():
         before = engine.cache.stats.snapshot()
         start = time.time()
-        report = _run_with_engine(exp, {}, engine, exact)
+        report = run_with_engine(exp, {}, engine, exact)
         elapsed = time.time() - start
         print(report.render())
-        print(f"[{exp.experiment_id}] {_engine_summary(engine, elapsed, before)}")
+        print(f"[{exp.experiment_id}] {engine_summary(engine, elapsed, before)}")
         print()
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid, execute the missing points, record them."""
+    grid = _parse_grid(args.grid)
+    base = _parse_kwargs(args.set or [])
+    if args.trials is not None:
+        if "trials" in base or "trials" in grid:
+            raise SystemExit("--trials conflicts with a trials axis/--set")
+        base["trials"] = args.trials
+    store = RunStore(args.store)
+    engine = _build_engine(args)
+    result = run_sweep(
+        args.experiment_id,
+        grid,
+        base,
+        store=store,
+        engine=engine,
+        exact=args.exact,
+        max_points=args.max_points,
+    )
+    axes = " ".join(f"{k}={','.join(map(str, v))}" for k, v in sorted(grid.items()))
+    print(f"sweep {args.experiment_id}: {len(result.points)} points (grid {axes})")
+    print(
+        f"{result.summary()} (ran in {result.wall_time:.2f}s; "
+        f"backend {engine.describe()})"
+    )
+    print(f"store: {store.root} ({len(store)} records)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render REPORT.md from stored records, executing only missing runs."""
+    store = RunStore(args.store)
+    engine = _build_engine(args)
+    text, outcomes = generate_report(
+        store,
+        args.out,
+        experiment_ids=args.experiments or None,
+        engine=engine,
+        fresh=args.fresh,
+    )
+    executed = sum(1 for o in outcomes if o.executed)
+    reused = len(outcomes) - executed
+    print(
+        f"wrote {args.out} ({len(outcomes)} sections; {reused} from store, "
+        f"{executed} executed)"
+    )
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the run store: list records, show one, or diff two."""
+    store = RunStore(args.store)
+    if args.runs_command == "list":
+        for line in format_records_table(store.records(args.experiment)):
+            print(line)
+        return 0
+    if args.runs_command == "show":
+        record = store.get(store.resolve_key(args.key))
+        for line in format_record(record):
+            print(line)
+        return 0
+    if args.runs_command == "diff":
+        a = store.get(store.resolve_key(args.key_a))
+        b = store.get(store.resolve_key(args.key_b))
+        for line in diff_records(a, b):
+            print(line)
+        return 0
+    raise SystemExit(f"unknown runs command {args.runs_command!r}")
 
 
 def cmd_attack(
@@ -235,7 +338,7 @@ def cmd_attack(
     print(f"strict       : {result.strict_success_rate:.2f}")
     print(f"relaxed      : {result.relaxed_success_rate:.2f}")
     print(f"mean UU edges: {result.mean_unique_unique:.2f} (kr/4 = {hard.claim31_threshold})")
-    print(_engine_summary(engine, elapsed, before))
+    print(engine_summary(engine, elapsed, before))
     return 0
 
 
@@ -269,6 +372,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="Fraction-backed probabilities for runners that support it",
     )
+    run_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="record the run in (or serve it from) this run store",
+    )
     _add_engine_flags(run_parser)
     run_all_parser = sub.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument(
@@ -277,6 +386,68 @@ def main(argv: list[str] | None = None) -> int:
         help="Fraction-backed probabilities for runners that support it",
     )
     _add_engine_flags(run_all_parser)
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a resumable parameter grid through the store"
+    )
+    sweep_parser.add_argument("experiment_id")
+    sweep_parser.add_argument(
+        "--grid",
+        nargs="+",
+        required=True,
+        metavar="NAME=V1,V2",
+        help="sweep axes over declared sweepable params",
+    )
+    sweep_parser.add_argument(
+        "--set",
+        nargs="*",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fixed overrides shared by every point",
+    )
+    sweep_parser.add_argument(
+        "--trials", type=int, default=None, help="shorthand for --set trials=N"
+    )
+    sweep_parser.add_argument(
+        "--exact", action="store_true", help="Fraction mode where supported"
+    )
+    sweep_parser.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="execute at most N pending points (checkpoint/CI knob)",
+    )
+    _add_store_flag(sweep_parser)
+    _add_engine_flags(sweep_parser)
+    report_parser = sub.add_parser(
+        "report", help="render REPORT.md from stored run records"
+    )
+    report_parser.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: all)"
+    )
+    report_parser.add_argument(
+        "--out", default="REPORT.md", help="output markdown path"
+    )
+    report_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="re-execute every section instead of reusing stored records",
+    )
+    _add_store_flag(report_parser)
+    _add_engine_flags(report_parser)
+    runs_parser = sub.add_parser("runs", help="inspect stored run records")
+    runs_sub = runs_parser.add_subparsers(dest="runs_command")
+    runs_list = runs_sub.add_parser("list", help="list stored records")
+    runs_list.add_argument(
+        "experiment", nargs="?", default=None, help="restrict to one experiment"
+    )
+    _add_store_flag(runs_list)
+    runs_show = runs_sub.add_parser("show", help="show one record in full")
+    runs_show.add_argument("key", help="record key (unique prefix ok)")
+    _add_store_flag(runs_show)
+    runs_diff = runs_sub.add_parser("diff", help="diff two records")
+    runs_diff.add_argument("key_a", help="first record key (prefix ok)")
+    runs_diff.add_argument("key_b", help="second record key (prefix ok)")
+    _add_store_flag(runs_diff)
     attack_parser = sub.add_parser("attack", help="attack D_MM with a named protocol")
     attack_parser.add_argument("spec", help="protocol spec, e.g. sampled:2 or mis-full")
     attack_parser.add_argument("--m", type=int, default=12)
@@ -296,9 +467,19 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(
             args.experiment_id, _parse_kwargs(args.kw), args.json,
             engine=_build_engine(args), exact=args.exact,
+            store_dir=args.store,
         )
     if args.command == "run-all":
         return cmd_run_all(engine=_build_engine(args), exact=args.exact)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "runs":
+        if args.runs_command is None:
+            runs_parser.print_help()
+            return 2
+        return cmd_runs(args)
     if args.command == "attack":
         return cmd_attack(
             args.spec, args.m, args.k, args.trials, args.seed,

@@ -29,6 +29,7 @@ from ..sketches import (
     PaletteSparsificationColoring,
     is_proper_coloring,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -185,7 +186,16 @@ def _uniformization_ablation() -> tuple[list, list[dict]]:
     return rows, data
 
 
-@register("ABL", "Design-choice ablations", "DESIGN.md §design choices")
+@register(
+    "ABL",
+    "Design-choice ablations",
+    "DESIGN.md §design choices",
+    params=(
+        ParamSpec("trials", "int", 6, help="trials per ablation point"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"trials": 2, "seed": 0},
+)
 def run_ablations(trials: int = 6, seed: int = 0) -> ExperimentReport:
     """Run every ablation sweep and tabulate the knees."""
     all_rows: list = []

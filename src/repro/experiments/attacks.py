@@ -30,11 +30,23 @@ from ..protocols import (
     PriorityEdgeMatching,
     SampledEdgesMatching,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_kv, render_table
 
 
-@register("ATK", "Attack landscape on D_MM", "Theorem 1 + remark (avg case)")
+@register(
+    "ATK",
+    "Attack landscape on D_MM",
+    "Theorem 1 + remark (avg case)",
+    params=(
+        ParamSpec("m", "int", 12, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 4, help="number of copies"),
+        ParamSpec("trials", "int", 20, help="trials per attack family"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"m": 8, "k": 2, "trials": 4, "seed": 0},
+)
 def run_attacks(
     m: int = 12, k: int = 4, trials: int = 20, seed: int = 0
 ) -> ExperimentReport:

@@ -28,12 +28,23 @@ from ..lowerbound.concentration import (
     claim31_tail_paper_bound,
 )
 from ..protocols import LowDegreeOnlyMatching, SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("AVG", "Average-case symmetrization + Chernoff constants",
-          "Remark after Theorem 1; Claim 3.1 proof")
+@register(
+    "AVG",
+    "Average-case symmetrization + Chernoff constants",
+    "Remark after Theorem 1; Claim 3.1 proof",
+    params=(
+        ParamSpec("m", "int", 10, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 3, help="number of copies"),
+        ParamSpec("trials", "int_tuple", (4, 32), help="trial counts compared"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"m": 8, "k": 2, "trials": (4, 8), "seed": 0},
+)
 def run_average_case(
     m: int = 10,
     k: int = 3,

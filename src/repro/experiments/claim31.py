@@ -28,6 +28,7 @@ from ..lowerbound import (
     scaled_distribution,
     union_matching_size,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -51,7 +52,18 @@ def default_configurations() -> list[tuple[str, HardDistribution]]:
     ]
 
 
-@register("C31", "Every maximal matching is unique-heavy (Claim 3.1)", "Claim 3.1")
+@register(
+    "C31",
+    "Every maximal matching is unique-heavy (Claim 3.1)",
+    "Claim 3.1",
+    params=(
+        ParamSpec("configs", "object", None,
+                  help="(name, HardDistribution) pairs; default mix inside"),
+        ParamSpec("trials", "int", 30, help="matchings sampled per config"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"trials": 6, "seed": 0},
+)
 def run_claim31(
     configs: list[tuple[str, HardDistribution]] | None = None,
     trials: int = 30,

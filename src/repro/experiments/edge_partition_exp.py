@@ -22,11 +22,24 @@ from ..lowerbound.edge_partition import (
 )
 from ..model import PublicCoins, run_protocol
 from ..protocols import SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_kv, render_table
 
 
-@register("EPART", "Vertex- vs edge-partition power (§1.2)", "Section 1.2, [14]")
+@register(
+    "EPART",
+    "Vertex- vs edge-partition power (§1.2)",
+    "Section 1.2, [14]",
+    params=(
+        ParamSpec("m", "int", 12, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 4, help="number of copies"),
+        ParamSpec("budgets", "int_list", None, help="edge budgets per player"),
+        ParamSpec("trials", "int", 15, help="shared D_MM samples"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"m": 8, "k": 2, "budgets": [1], "trials": 4, "seed": 0},
+)
 def run_edge_partition(
     m: int = 12,
     k: int = 4,

@@ -22,6 +22,7 @@ from ..lowerbound.exhaustive import (
     optimal_success,
     shared_center_distribution,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -38,8 +39,17 @@ def _c4_distribution():
     return HardDistribution(rs=rs, k=1)
 
 
-@register("XCC", "Exact communication complexity of micro D_MM",
-          "Theorem 1 (finite quantifier, brute-forced)")
+@register(
+    "XCC",
+    "Exact communication complexity of micro D_MM",
+    "Theorem 1 (finite quantifier, brute-forced)",
+    params=(
+        ParamSpec("include_c4", "bool", False,
+                  help="also brute-force the 4-cycle instance"),
+        ParamSpec("max_strategies", "int", 2_000_000,
+                  help="strategy-space cap before an instance is skipped"),
+    ),
+)
 def run_exact_cc(
     include_c4: bool = False, max_strategies: int = 2_000_000
 ) -> ExperimentReport:

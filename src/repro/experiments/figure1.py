@@ -6,11 +6,22 @@ import random
 
 from ..lowerbound import sample_dmm, scaled_distribution
 from .ascii_art import render_figure1
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("F1", "Hard distribution D_MM (Figure 1)", "Section 3.1, Figure 1")
+@register(
+    "F1",
+    "Hard distribution D_MM (Figure 1)",
+    "Section 3.1, Figure 1",
+    params=(
+        ParamSpec("m", "int", 10, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 2, help="number of copies"),
+        ParamSpec("seed", "int", 0, help="instance sample seed"),
+    ),
+    smoke={"m": 8, "k": 2, "seed": 0},
+)
 def run_figure1(m: int = 10, k: int = 2, seed: int = 0) -> ExperimentReport:
     """Sample one instance at the requested scale and report the structure
     Figure 1 illustrates: shared public block, per-copy unique blocks,

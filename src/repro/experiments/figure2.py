@@ -14,11 +14,23 @@ from ..lowerbound import (
     scaled_distribution,
 )
 from .ascii_art import render_figure2
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_kv
 
 
-@register("F2", "Reduction graph H (Figure 2)", "Section 4, Figure 2")
+@register(
+    "F2",
+    "Reduction graph H (Figure 2)",
+    "Section 4, Figure 2",
+    params=(
+        ParamSpec("m", "int", 10, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 2, help="number of copies"),
+        ParamSpec("seed", "int", 0, help="instance sample seed"),
+        ParamSpec("side_trials", "int", 8, help="samples for the side stats"),
+    ),
+    smoke={"m": 8, "k": 2, "seed": 0, "side_trials": 4},
+)
 def run_figure2(
     m: int = 10, k: int = 2, seed: int = 0, side_trials: int = 8
 ) -> ExperimentReport:

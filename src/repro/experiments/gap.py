@@ -22,6 +22,7 @@ from ..lowerbound import (
     scaled_distribution,
 )
 from ..protocols import SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -54,7 +55,19 @@ def minimal_budget_for_success(
     return lo, best_bits
 
 
-@register("GAP", "The open gap, measured (§1.1)", "Section 1.1 open question")
+@register(
+    "GAP",
+    "The open gap, measured (§1.1)",
+    "Section 1.1 open question",
+    params=(
+        ParamSpec("ms", "int_list", None, help="Behrend scales to map"),
+        ParamSpec("k", "int", 4, help="number of copies"),
+        ParamSpec("target", "float", 0.9, help="success rate defining the knee"),
+        ParamSpec("trials", "int", 12, help="trials per budget point"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"ms": [8, 12], "k": 3, "trials": 4, "seed": 0},
+)
 def run_gap(
     ms: list[int] | None = None,
     k: int = 4,

@@ -14,11 +14,22 @@ from ..lowerbound import (
     sample_dmm,
     scaled_distribution,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("L41", "MIS -> matching decode correctness (Lemma 4.1)", "Lemma 4.1")
+@register(
+    "L41",
+    "MIS -> matching decode correctness (Lemma 4.1)",
+    "Lemma 4.1",
+    params=(
+        ParamSpec("monte_carlo_trials", "int", 20,
+                  help="sampled H instances for the Monte-Carlo pass"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"monte_carlo_trials": 4, "seed": 0},
+)
 def run_lemma41(
     monte_carlo_trials: int = 20, seed: int = 0
 ) -> ExperimentReport:

@@ -11,6 +11,7 @@ from ..engine import ExecutionEngine, resolve_engine
 from ..lowerbound import analyze_protocol, micro_distribution
 from ..model import PublicCoins
 from ..protocols import FullNeighborhoodMatching, SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -53,7 +54,16 @@ def _analyses(
     return hard, list(zip(suite, analyses))
 
 
-@register("L33", "Information lower bound (Lemma 3.3)", "Lemma 3.3")
+@register(
+    "L33",
+    "Information lower bound (Lemma 3.3)",
+    "Lemma 3.3",
+    params=(
+        ParamSpec("r", "int", 1, help="matchings per RS graph"),
+        ParamSpec("t", "int", 2, help="edges per induced matching"),
+        ParamSpec("k", "int", 2, help="number of copies"),
+    ),
+)
 def run_lemma33(
     r: int = 1,
     t: int = 2,
@@ -117,7 +127,16 @@ def run_lemma33(
     )
 
 
-@register("L34", "Public/unique decomposition (Lemma 3.4)", "Lemma 3.4")
+@register(
+    "L34",
+    "Public/unique decomposition (Lemma 3.4)",
+    "Lemma 3.4",
+    params=(
+        ParamSpec("r", "int", 1, help="matchings per RS graph"),
+        ParamSpec("t", "int", 2, help="edges per induced matching"),
+        ParamSpec("k", "int", 2, help="number of copies"),
+    ),
+)
 def run_lemma34(
     r: int = 1,
     t: int = 2,
@@ -163,7 +182,17 @@ def run_lemma34(
     )
 
 
-@register("L35", "Direct-sum for unique players (Lemma 3.5)", "Lemma 3.5")
+@register(
+    "L35",
+    "Direct-sum for unique players (Lemma 3.5)",
+    "Lemma 3.5",
+    params=(
+        ParamSpec("r", "int", 1, help="matchings per RS graph"),
+        ParamSpec("t", "int", 3, help="edges per induced matching"),
+        ParamSpec("k", "int", 2, help="number of copies"),
+    ),
+    smoke={"r": 1, "t": 2, "k": 2},
+)
 def run_lemma35(
     r: int = 1,
     t: int = 3,

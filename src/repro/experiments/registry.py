@@ -4,12 +4,31 @@ Each experiment is a named callable producing an :class:`ExperimentReport`
 — a text rendering (what the bench prints) plus a data dict (what tests
 assert on and EXPERIMENTS.md records).  The registry maps the experiment
 ids of DESIGN.md's per-experiment index to their runners.
+
+Every experiment *declares* its parameters as
+:class:`~repro.runs.spec.ParamSpec` entries — names, kinds, defaults,
+sweepable axes — and registration cross-checks the declaration against
+the runner's signature once, at import time.  Dispatch then validates
+keyword overrides against the declared spec (unknown names and
+mistyped values fail with the declared vocabulary) and injects the
+reserved ``engine=`` / ``exact=`` keywords only where the signature
+takes them — no per-call ``inspect`` anywhere.  The same declarations
+drive the runs layer: sweep grids expand over sweepable axes, and the
+resolved parameter dict is what content-addresses each stored
+:class:`~repro.runs.store.RunRecord`.
 """
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 from dataclasses import dataclass, field
+
+from ..engine import ExecutionEngine
+from ..runs.spec import ExperimentSpec, ParamSpec
+
+#: Keywords injected by the dispatcher, never declared as params.
+RESERVED_PARAMS = ("engine", "exact")
 
 
 @dataclass(frozen=True)
@@ -22,37 +41,120 @@ class ExperimentReport:
     data: dict = field(default_factory=dict)
 
     def render(self) -> str:
+        """The printable report: bracketed header plus the body lines."""
         header = f"[{self.experiment_id}] {self.title}"
         return "\n".join([header, "=" * len(header), *self.lines])
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered experiment: metadata plus its runner."""
+    """A registered experiment: metadata, declared spec, and its runner."""
 
     experiment_id: str
     title: str
     paper_reference: str
     runner: Callable[..., ExperimentReport]
+    spec: ExperimentSpec = field(default_factory=ExperimentSpec)
 
-    def run(self, **kwargs) -> ExperimentReport:
+    def run(
+        self,
+        *,
+        engine: ExecutionEngine | None = None,
+        exact: bool = False,
+        **overrides,
+    ) -> ExperimentReport:
+        """Run with validated overrides and spec-declared injection.
+
+        Overrides are coerced through the declared :class:`ParamSpec`\\ s
+        (unknown names raise with the declared vocabulary).  ``engine``
+        and ``exact`` reach the runner only when its spec declares
+        support; an unsupported ``exact=True`` is silently ignored, as
+        the CLI's ``--exact`` has always been for non-exact runners.
+        """
+        kwargs = self.spec.validate(overrides)
+        if self.spec.accepts_engine and engine is not None:
+            kwargs["engine"] = engine
+        if self.spec.accepts_exact and exact:
+            kwargs["exact"] = True
         return self.runner(**kwargs)
 
 
 _REGISTRY: dict[str, Experiment] = {}
 
 
-def register(experiment_id: str, title: str, paper_reference: str):
-    """Decorator registering an experiment runner under an id."""
+def _check_declaration(
+    experiment_id: str,
+    fn: Callable[..., ExperimentReport],
+    params: tuple[ParamSpec, ...],
+) -> ExperimentSpec:
+    """Cross-check a parameter declaration against the runner signature.
+
+    The declaration is the source of truth for dispatch, so drift —
+    an undeclared signature parameter, a declared name the runner does
+    not take, or a default that disagrees — is an import-time error.
+    """
+    signature_params = inspect.signature(fn).parameters
+    declared = {p.name for p in params}
+    signature_names = {
+        name for name in signature_params if name not in RESERVED_PARAMS
+    }
+    if declared != signature_names:
+        missing = sorted(signature_names - declared)
+        extra = sorted(declared - signature_names)
+        raise ValueError(
+            f"experiment {experiment_id!r}: declared params disagree with "
+            f"the runner signature (undeclared: {missing}, spurious: {extra})"
+        )
+    for p in params:
+        sig_default = signature_params[p.name].default
+        if sig_default is inspect.Parameter.empty:
+            raise ValueError(
+                f"experiment {experiment_id!r}: param {p.name!r} has no "
+                "signature default; every experiment param needs one"
+            )
+        if sig_default != p.default:
+            raise ValueError(
+                f"experiment {experiment_id!r}: param {p.name!r} declares "
+                f"default {p.default!r} but the signature says {sig_default!r}"
+            )
+    return ExperimentSpec(
+        params=params,
+        accepts_engine="engine" in signature_params,
+        accepts_exact="exact" in signature_params,
+    )
+
+
+def register(
+    experiment_id: str,
+    title: str,
+    paper_reference: str,
+    params: tuple[ParamSpec, ...] = (),
+    smoke: dict | None = None,
+):
+    """Decorator registering an experiment runner under an id.
+
+    ``params`` declares the runner's full parameter surface (checked
+    against its signature at import time); ``smoke`` is the small
+    sub-second override set used by smoke tests and benchmarks.
+    """
 
     def deco(fn: Callable[..., ExperimentReport]) -> Callable[..., ExperimentReport]:
+        """Validate the declaration and file the experiment."""
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        spec = _check_declaration(experiment_id, fn, tuple(params))
+        spec = ExperimentSpec(
+            params=spec.params,
+            accepts_engine=spec.accepts_engine,
+            accepts_exact=spec.accepts_exact,
+            smoke=spec.validate(smoke or {}),
+        )
         _REGISTRY[experiment_id] = Experiment(
             experiment_id=experiment_id,
             title=title,
             paper_reference=paper_reference,
             runner=fn,
+            spec=spec,
         )
         return fn
 

@@ -20,11 +20,21 @@ from ..lowerbound import (
     scaled_distribution,
 )
 from ..lowerbound.claims import public_first_adversarial_matching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("R36", "The four relaxations (Remark 3.6)", "Remark 3.6")
+@register(
+    "R36",
+    "The four relaxations (Remark 3.6)",
+    "Remark 3.6",
+    params=(
+        ParamSpec("m", "int", 10, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 3, help="number of copies"),
+        ParamSpec("seed", "int", 0, help="instance sample seed"),
+    ),
+)
 def run_remark36(m: int = 10, k: int = 3, seed: int = 0) -> ExperimentReport:
     """Demonstrate each of Remark 3.6's four relaxations in code."""
     hard = scaled_distribution(m=m, k=k)

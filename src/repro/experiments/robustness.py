@@ -32,6 +32,7 @@ from ..sketches import (
     PaletteSparsificationColoring,
     is_proper_coloring,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .stats import wilson_interval
 from .tables import render_table
@@ -76,7 +77,17 @@ def _robustness_cell(item: tuple) -> tuple[bool, bool, bool, bool]:
     return agm_ok, mm_ok, mis_ok, col_ok
 
 
-@register("ROB", "Protocol robustness across graph families", "library validation")
+@register(
+    "ROB",
+    "Protocol robustness across graph families",
+    "library validation",
+    params=(
+        ParamSpec("n", "int", 25, help="vertices per family graph"),
+        ParamSpec("trials", "int", 6, help="trials per protocol/family cell"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"n": 16, "trials": 3, "seed": 0},
+)
 def run_robustness(
     n: int = 25,
     trials: int = 6,

@@ -9,11 +9,20 @@ from ..rsgraphs import (
     proposition21_t,
     tripartite_rs_graph,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("P21", "RS graph parameters (Proposition 2.1)", "Section 2.2, Prop 2.1")
+@register(
+    "P21",
+    "RS graph parameters (Proposition 2.1)",
+    "Section 2.2, Prop 2.1",
+    params=(
+        ParamSpec("ms", "int_list", None, help="Behrend scales to tabulate"),
+    ),
+    smoke={"ms": [4, 8]},
+)
 def run_rs_params(ms: list[int] | None = None) -> ExperimentReport:
     """Tabulate achieved (r, t) of the sum-class construction against the
     asymptotic r = N/e^Θ(sqrt(log N)), t = N/3 of Proposition 2.1."""

@@ -30,6 +30,7 @@ from ..lowerbound import (
 )
 from ..model import PublicCoins
 from ..protocols import FullNeighborhoodMIS, SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
@@ -92,7 +93,16 @@ def _stability_cell(item: tuple) -> dict:
     }
 
 
-@register("STAB", "Seed stability of the headline conclusions", "methodology")
+@register(
+    "STAB",
+    "Seed stability of the headline conclusions",
+    "methodology",
+    params=(
+        ParamSpec("seeds", "int_list", None, help="independent seeds rerun"),
+        ParamSpec("trials", "int", 10, help="trials per seed"),
+    ),
+    smoke={"seeds": [1, 2], "trials": 4},
+)
 def run_stability(
     seeds: list[int] | None = None,
     trials: int = 10,

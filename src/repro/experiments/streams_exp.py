@@ -29,11 +29,22 @@ from ..streams import (
     random_order_stream,
     stream_to_distributed_sketches,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("STR", "Dynamic streams = linear sketches (§1.1)", "Section 1.1, [1]/[14]")
+@register(
+    "STR",
+    "Dynamic streams = linear sketches (§1.1)",
+    "Section 1.1, [1]/[14]",
+    params=(
+        ParamSpec("n", "int", 14, help="vertices per streamed graph"),
+        ParamSpec("trials", "int", 5, help="stream/sketch comparisons"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"n": 10, "trials": 2, "seed": 0},
+)
 def run_streams(
     n: int = 14, trials: int = 5, seed: int = 0
 ) -> ExperimentReport:

@@ -22,11 +22,20 @@ from ..lowerbound import (
 )
 from ..lowerbound.bounds import theorem1_behrend_form_bits
 from ..protocols import SampledEdgesMatching
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_kv, render_table
 
 
-@register("T1a", "Bound landscape (Theorem 1, analytic)", "Theorem 1 / Section 1")
+@register(
+    "T1a",
+    "Bound landscape (Theorem 1, analytic)",
+    "Theorem 1 / Section 1",
+    params=(
+        ParamSpec("ns", "int_list", None, help="graph sizes to tabulate"),
+    ),
+    smoke={"ns": [10**3, 10**6]},
+)
 def run_theorem1_landscape(ns: list[int] | None = None) -> ExperimentReport:
     """Tabulate the analytic bound landscape across n."""
     if ns is None:
@@ -81,7 +90,21 @@ def run_theorem1_landscape(ns: list[int] | None = None) -> ExperimentReport:
     )
 
 
-@register("T1b", "Adversarial budget sweep (Theorem 1, empirical)", "Theorem 1")
+@register(
+    "T1b",
+    "Adversarial budget sweep (Theorem 1, empirical)",
+    "Theorem 1",
+    params=(
+        ParamSpec("m", "int", 12, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 4, help="number of copies"),
+        ParamSpec("trials", "int", 25, help="trials per budget knob"),
+        ParamSpec("knobs", "int_list", None, help="edges-per-vertex budgets"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+        ParamSpec("information", "bool", False,
+                  help="add the plug-in I(J;Π) column (reruns per knob)"),
+    ),
+    smoke={"m": 10, "k": 3, "trials": 6, "knobs": [0, 2], "seed": 0},
+)
 def run_theorem1_sweep(
     m: int = 12,
     k: int = 4,

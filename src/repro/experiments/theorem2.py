@@ -12,6 +12,7 @@ from ..engine import ExecutionEngine, derive_seed, resolve_engine
 from ..lowerbound import run_reduction, sample_dmm_family, scaled_distribution
 from ..model import PublicCoins
 from ..protocols import FullNeighborhoodMIS, SampledEdgesMIS
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_kv, render_table
 
@@ -27,7 +28,19 @@ def _reduction_trial(item: tuple) -> tuple[bool, bool, int]:
     )
 
 
-@register("T2", "MIS lower bound via reduction (Theorem 2)", "Section 4, Theorem 2")
+@register(
+    "T2",
+    "MIS lower bound via reduction (Theorem 2)",
+    "Section 4, Theorem 2",
+    params=(
+        ParamSpec("m", "int", 10, help="Behrend scale of D_MM"),
+        ParamSpec("k", "int", 3, help="number of copies"),
+        ParamSpec("trials", "int", 15, help="trials per budget point"),
+        ParamSpec("budgets", "int_list", None, help="MIS sampling budgets"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"m": 8, "k": 2, "trials": 4, "budgets": [0], "seed": 0},
+)
 def run_theorem2(
     m: int = 10,
     k: int = 3,

@@ -27,11 +27,22 @@ from ..sketches import (
     is_proper_coloring,
 )
 from ..graphs import is_maximal_independent_set
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("UB-SF", "AGM spanning forest sketches O(log^3 n)", "Section 1, [1]")
+@register(
+    "UB-SF",
+    "AGM spanning forest sketches O(log^3 n)",
+    "Section 1, [1]",
+    params=(
+        ParamSpec("ns", "int_list", None, help="graph sizes measured"),
+        ParamSpec("trials", "int", 5, help="trials per size"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"ns": [16], "trials": 2, "seed": 0},
+)
 def run_agm_contrast(
     ns: list[int] | None = None, trials: int = 5, seed: int = 0
 ) -> ExperimentReport:
@@ -75,7 +86,17 @@ def run_agm_contrast(
     )
 
 
-@register("UB-COL", "(Δ+1)-coloring sketches O(log^3 n)", "Section 1, [11]")
+@register(
+    "UB-COL",
+    "(Δ+1)-coloring sketches O(log^3 n)",
+    "Section 1, [11]",
+    params=(
+        ParamSpec("ns", "int_list", None, help="graph sizes measured"),
+        ParamSpec("trials", "int", 5, help="trials per size"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"ns": [16], "trials": 2, "seed": 0},
+)
 def run_coloring_contrast(
     ns: list[int] | None = None, trials: int = 5, seed: int = 0
 ) -> ExperimentReport:
@@ -120,7 +141,17 @@ def run_coloring_contrast(
     )
 
 
-@register("UB-2R", "Two-round O(√n) MM / adaptive MIS", "Section 1.1, [46]/[35]")
+@register(
+    "UB-2R",
+    "Two-round O(√n) MM / adaptive MIS",
+    "Section 1.1, [46]/[35]",
+    params=(
+        ParamSpec("n", "int", 36, help="vertices per graph"),
+        ParamSpec("trials", "int", 8, help="trials per round count"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"n": 25, "trials": 3, "seed": 0},
+)
 def run_two_round_contrast(
     n: int = 36, trials: int = 8, seed: int = 0
 ) -> ExperimentReport:

@@ -28,12 +28,21 @@ from ..sketches import (
     TriangleCountSketch,
     certificate_min_cut,
 )
+from ..runs.spec import ParamSpec
 from .registry import ExperimentReport, register
 from .tables import render_table
 
 
-@register("UB-EXT", "Connectivity, densest subgraph, triangles, degeneracy",
-          "Section 1, [1]/[2]/[22]/[31]/[48]")
+@register(
+    "UB-EXT",
+    "Connectivity, densest subgraph, triangles, degeneracy",
+    "Section 1, [1]/[2]/[22]/[31]/[48]",
+    params=(
+        ParamSpec("trials", "int", 4, help="trials per sketch family"),
+        ParamSpec("seed", "int", 0, help="base RNG seed"),
+    ),
+    smoke={"trials": 2, "seed": 0},
+)
 def run_upper_bounds_ext(trials: int = 4, seed: int = 0) -> ExperimentReport:
     """Measure edge connectivity, densest subgraph, and triangle sketches."""
     rows = []

@@ -16,6 +16,25 @@ class TestParsing:
     def test_parse_value_string(self):
         assert _parse_value("hello") == "hello"
 
+    def test_parse_value_booleans(self):
+        """Regression: 'true'/'false' parse to bools, not strings."""
+        assert _parse_value("true") is True
+        assert _parse_value("false") is False
+        assert _parse_value("True") is True
+        assert _parse_value("FALSE") is False
+
+    def test_parse_value_none(self):
+        """Regression: 'none' parses to None, not the string 'none'."""
+        assert _parse_value("none") is None
+        assert _parse_value("None") is None
+
+    def test_parse_value_near_misses_stay_strings(self):
+        assert _parse_value("truely") == "truely"
+        assert _parse_value("nonempty") == "nonempty"
+
+    def test_parse_kwargs_booleans(self):
+        assert _parse_kwargs(["information=true"]) == {"information": True}
+
     def test_parse_kwargs(self):
         assert _parse_kwargs(["m=8", "k=2", "tag=x"]) == {"m": 8, "k": 2, "tag": "x"}
 
@@ -47,6 +66,94 @@ class TestCommands:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_executes_and_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        args = ["sweep", "F1", "--grid", "m=8,10", "--store", store]
+        assert main(args + ["--max-points", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep F1: 2 points (grid m=8,10)" in out
+        assert "executed 1, skipped 0, remaining 1" in out
+        # Relaunch: the stored point is skipped, the missing one runs.
+        assert main(args) == 0
+        assert "executed 1, skipped 1, remaining 0" in capsys.readouterr().out
+        # Third launch: everything stored, nothing re-executes.
+        assert main(args) == 0
+        assert "executed 0, skipped 2, remaining 0" in capsys.readouterr().out
+
+    def test_sweep_trials_shorthand_conflict(self, tmp_path):
+        with pytest.raises(SystemExit, match="trials"):
+            main([
+                "sweep", "T1b", "--grid", "trials=2,4", "--trials", "8",
+                "--store", str(tmp_path / "runs"),
+            ])
+
+    def test_sweep_unknown_axis(self, tmp_path):
+        with pytest.raises(ValueError, match="declared"):
+            main([
+                "sweep", "F1", "--grid", "bogus=1,2",
+                "--store", str(tmp_path / "runs"),
+            ])
+
+
+class TestReportCommand:
+    def test_report_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        out_md = str(tmp_path / "REPORT.md")
+        args = ["report", "T1a", "F1", "--out", out_md, "--store", store]
+        assert main(args) == 0
+        assert "2 sections; 0 from store, 2 executed" in capsys.readouterr().out
+        first = (tmp_path / "REPORT.md").read_text()
+        assert "## T1a" in first and "## F1" in first
+        # Regeneration serves both sections from the store, bit-for-bit.
+        assert main(args) == 0
+        assert "2 from store, 0 executed" in capsys.readouterr().out
+        assert (tmp_path / "REPORT.md").read_text() == first
+
+
+class TestRunsCommand:
+    def _store_with_runs(self, tmp_path):
+        from repro.runs import RunStore, execute_run
+
+        store = RunStore(tmp_path / "runs")
+        a = execute_run("F1", {"m": 8, "k": 2}, store=store).record
+        b = execute_run("F1", {"m": 10, "k": 2}, store=store).record
+        return str(store.root), a, b
+
+    def test_runs_list(self, tmp_path, capsys):
+        store, a, _ = self._store_with_runs(tmp_path)
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert a.key[:12] in out and "experiment" in out
+
+    def test_runs_show_by_prefix(self, tmp_path, capsys):
+        store, a, _ = self._store_with_runs(tmp_path)
+        assert main(["runs", "show", a.key[:10], "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert a.key in out and "[F1]" in out
+
+    def test_runs_diff(self, tmp_path, capsys):
+        store, a, b = self._store_with_runs(tmp_path)
+        assert main(
+            ["runs", "diff", a.key[:10], b.key[:10], "--store", store]
+        ) == 0
+        assert "param m: 8 -> 10" in capsys.readouterr().out
+
+    def test_runs_without_subcommand_prints_help(self, capsys):
+        assert main(["runs"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_run_with_store_records_and_reuses(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        args = ["run", "F1", "--kw", "m=8", "k=2", "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "(recorded " in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(stored record " in second
 
 
 class TestProtocolRegistry:

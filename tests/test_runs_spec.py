@@ -1,0 +1,164 @@
+"""Tests for the typed spec layer: ParamSpec, ExperimentSpec, run keys."""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.runs import (
+    ExperimentSpec,
+    ParamSpec,
+    canonical_params,
+    parse_value,
+    run_key,
+)
+
+
+class TestParseValue:
+    def test_ints_and_floats(self):
+        assert parse_value("12") == 12
+        assert isinstance(parse_value("12"), int)
+        assert parse_value("0.5") == 0.5
+
+    def test_booleans_and_none(self):
+        assert parse_value("true") is True
+        assert parse_value("false") is False
+        assert parse_value("none") is None
+        assert parse_value("False") is False
+
+    def test_strings_pass_through(self):
+        assert parse_value("hello") == "hello"
+        assert parse_value("truely") == "truely"
+
+
+class TestParamSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            ParamSpec("x", "complex", 0)
+
+    def test_scalars_sweepable_by_default(self):
+        assert ParamSpec("m", "int", 8).sweepable
+        assert ParamSpec("f", "float", 0.5).sweepable
+        assert not ParamSpec("xs", "int_list", None).sweepable
+        assert not ParamSpec("o", "object", None).sweepable
+
+    def test_list_cannot_be_forced_sweepable(self):
+        with pytest.raises(ValueError, match="cannot be sweepable"):
+            ParamSpec("xs", "int_list", None, sweepable=True)
+
+    def test_int_coercion_rejects_bool_and_float(self):
+        p = ParamSpec("m", "int", 8)
+        assert p.coerce(12) == 12
+        with pytest.raises(ValueError):
+            p.coerce(True)
+        with pytest.raises(ValueError):
+            p.coerce(1.5)
+
+    def test_float_coercion_widens_int(self):
+        p = ParamSpec("target", "float", 0.9)
+        assert p.coerce(1) == 1.0
+        assert isinstance(p.coerce(1), float)
+
+    def test_none_allowed_only_with_none_default(self):
+        assert ParamSpec("xs", "int_list", None).coerce(None) is None
+        with pytest.raises(ValueError):
+            ParamSpec("m", "int", 8).coerce(None)
+
+    def test_int_list_and_tuple(self):
+        assert ParamSpec("xs", "int_list", None).coerce((1, 2)) == [1, 2]
+        assert ParamSpec("xs", "int_tuple", (1,)).coerce([1, 2]) == (1, 2)
+        with pytest.raises(ValueError):
+            ParamSpec("xs", "int_list", None).coerce([1, "a"])
+
+    def test_parse_axis(self):
+        assert ParamSpec("m", "int", 8).parse_axis("8,12,16") == (8, 12, 16)
+        with pytest.raises(ValueError):
+            ParamSpec("xs", "int_list", None).parse_axis("1,2")
+
+
+class TestExperimentSpec:
+    def _spec(self):
+        return ExperimentSpec(
+            params=(ParamSpec("m", "int", 8), ParamSpec("seed", "int", 0))
+        )
+
+    def test_duplicate_and_reserved_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentSpec(params=(ParamSpec("m", "int", 8),) * 2)
+        with pytest.raises(ValueError, match="reserved"):
+            ExperimentSpec(params=(ParamSpec("engine", "int", 0),))
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="declared"):
+            self._spec().validate({"nope": 1})
+
+    def test_resolve_overlays_defaults(self):
+        assert self._spec().resolve({"m": 12}) == {"m": 12, "seed": 0}
+
+    def test_sweepable_names(self):
+        assert self._spec().sweepable_names() == ("m", "seed")
+
+
+class TestCanonicalParams:
+    def test_tuples_become_lists(self):
+        assert canonical_params({"xs": (1, (2, 3))}) == {"xs": [1, [2, 3]]}
+
+    def test_objects_rejected(self):
+        with pytest.raises(TypeError, match="configs"):
+            canonical_params({"configs": object()})
+
+
+class TestRunKey:
+    def test_stable_and_order_independent(self):
+        a = run_key("T1b", {"m": 8, "k": 2}, seed=0)
+        b = run_key("T1b", {"k": 2, "m": 8}, seed=0)
+        assert a == b and len(a) == 64
+
+    def test_sensitive_to_every_component(self):
+        base = run_key("T1b", {"m": 8}, seed=0)
+        assert run_key("T1a", {"m": 8}, seed=0) != base
+        assert run_key("T1b", {"m": 9}, seed=0) != base
+        assert run_key("T1b", {"m": 8}, seed=1) != base
+        assert run_key("T1b", {"m": 8}, seed=0, exact=True) != base
+
+    def test_tuple_and_list_collide(self):
+        """Two spellings of the same resolved value are one run."""
+        assert run_key("AVG", {"trials": (4, 8)}) == run_key(
+            "AVG", {"trials": [4, 8]}
+        )
+
+
+class TestRegisteredDeclarations:
+    """Every registered experiment's declaration is usable end to end."""
+
+    def test_every_experiment_declares_its_signature(self):
+        import inspect
+
+        for exp in all_experiments():
+            sig = set(inspect.signature(exp.runner).parameters)
+            declared = set(exp.spec.names)
+            assert declared == sig - {"engine", "exact"}, exp.experiment_id
+            assert exp.spec.accepts_engine == ("engine" in sig)
+            assert exp.spec.accepts_exact == ("exact" in sig)
+
+    def test_smoke_overrides_validate(self):
+        for exp in all_experiments():
+            validated = exp.spec.validate(exp.spec.smoke)
+            assert set(validated) <= set(exp.spec.names)
+
+    def test_dispatch_rejects_unknown_override(self):
+        with pytest.raises(ValueError, match="declared"):
+            run_experiment("F1", bogus=1)
+
+    def test_dispatch_rejects_mistyped_override(self):
+        with pytest.raises(ValueError, match="expected int"):
+            run_experiment("F1", m="eight")
+
+    def test_exact_ignored_where_unsupported(self):
+        report = run_experiment("F1", m=8, k=2, exact=True)
+        assert report.experiment_id == "F1"
+
+    def test_default_key_matches_resolved_key(self):
+        """Defaults and an explicit spelling of them address one run."""
+        spec = get_experiment("F1").spec
+        assert run_key("F1", spec.resolve({})) == run_key(
+            "F1", spec.resolve({"m": 10, "k": 2, "seed": 0})
+        )
