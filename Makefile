@@ -1,4 +1,4 @@
-.PHONY: install test conformance golden-verify bench bench-sketches bench-runs report sweep-smoke examples all
+.PHONY: install test conformance golden-verify bench bench-sketches bench-runs bench-obs trace-smoke report sweep-smoke examples all
 
 install:
 	pip install -e .
@@ -27,6 +27,16 @@ bench-sketches:
 
 bench-runs:
 	python benchmarks/bench_runs.py --out BENCH_runs.json
+
+# Telemetry overhead numbers: disabled/enabled probe costs, traced vs
+# untraced workload ratio, exporter throughput (docs/observability.md).
+bench-obs:
+	PYTHONPATH=src python benchmarks/bench_obs.py --out BENCH_obs.json
+
+# Traced smoke run: span tree + bits-per-player table on stdout, Chrome
+# trace to trace_smoke.json (open in Perfetto / chrome://tracing).
+trace-smoke:
+	PYTHONPATH=src python -m repro trace T1b --out trace_smoke.json
 
 # REPORT.md is rendered from the content-addressed run store
 # (.repro_runs by default): warm records are served bit-for-bit,

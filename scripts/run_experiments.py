@@ -7,6 +7,7 @@ This is the reproduction driver behind EXPERIMENTS.md:
     python scripts/run_experiments.py --workers 4        # parallel trials
     python scripts/run_experiments.py --cache-dir .repro_cache
     python scripts/run_experiments.py --store .repro_runs  # record durably
+    python scripts/run_experiments.py --trace trace.json   # export telemetry
 
 It speaks only the public runs API (``repro.runs``): engine
 construction, spec-validated dispatch, and the summary line are the
@@ -52,12 +53,25 @@ def main(argv: list[str]) -> None:
         metavar="DIR",
         help="record each run in (and reuse finished runs from) a run store",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export telemetry (.json Chrome trace, .jsonl event log)",
+    )
     args = parser.parse_args(argv)
 
     engine = build_engine(
         workers=args.workers, cache_dir=args.cache_dir, no_cache=args.no_cache
     )
     store = RunStore(args.store) if args.store is not None else None
+
+    recorder = None
+    if args.trace is not None:
+        from repro.obs import TelemetryRecorder, set_recorder
+
+        recorder = TelemetryRecorder()
+        set_recorder(recorder)
 
     if args.experiments:
         experiments = [get_experiment(exp_id) for exp_id in args.experiments]
@@ -86,6 +100,13 @@ def main(argv: list[str]) -> None:
                 f"(paper ref: {experiment.paper_reference})"
             )
         print()
+
+    if recorder is not None:
+        from repro.obs import set_recorder, write_trace
+
+        set_recorder(None)
+        written = write_trace(recorder, args.trace)
+        print(f"trace: {len(recorder.spans)} spans -> {written}")
 
 
 if __name__ == "__main__":

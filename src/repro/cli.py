@@ -7,6 +7,7 @@
     python -m repro report [--out REPORT.md]
     python -m repro runs list|show|diff  # inspect stored run records
     python -m repro attack sampled:2 --m 12 --k 4 --trials 20
+    python -m repro trace T1b [--out trace.json]   # smoke run + telemetry
     python -m repro info                 # package + paper summary
 
 Keyword overrides are parsed as ints when possible, floats next, the
@@ -38,6 +39,13 @@ The runs pipeline (see ``docs/runs.md``):
   ``list``.  The store root is ``--store`` / ``$REPRO_RUNS_DIR`` /
   ``.repro_runs``.
 
+Telemetry (see ``docs/observability.md``): ``repro trace EXP`` runs an
+experiment at its declared smoke scale under a recorder and prints the
+aggregated span tree plus the counter table (``--out`` exports the raw
+trace); ``run`` and ``sweep`` take ``--trace PATH`` to export a Chrome
+trace-event JSON (``.json``, loadable in Perfetto / chrome://tracing)
+or a JSONL event log (``.jsonl``) of the whole invocation.
+
 ``repro conformance {run,shrink,list}`` drives the conformance
 subsystem: deterministic differential/metamorphic fuzzing of every
 fast↔reference oracle pair, with greedy counterexample shrinking and
@@ -49,6 +57,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 
 from . import __version__
 from .engine import ExecutionEngine
@@ -135,6 +144,37 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="run-store root (default: $REPRO_RUNS_DIR or .repro_runs)",
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the telemetry export flag to a subcommand."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record telemetry and export it (.json Chrome trace, .jsonl events)",
+    )
+
+
+@contextmanager
+def _tracing(path: str | None):
+    """Record the wrapped command's telemetry and export it to ``path``.
+
+    A no-op when no ``--trace`` path was given, so untraced commands
+    keep the null-recorder fast path.
+    """
+    if path is None:
+        yield
+        return
+    from .obs import TelemetryRecorder, recording, write_trace
+
+    with recording(TelemetryRecorder()) as recorder:
+        yield
+    written = write_trace(recorder, path)
+    print(
+        f"(trace: {len(recorder.spans)} spans, "
+        f"{len(recorder.counters)} counter series -> {written})"
     )
 
 
@@ -342,6 +382,44 @@ def cmd_attack(
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment at smoke scale under telemetry and show the trace.
+
+    Smoke overrides come from the experiment's declared spec (the same
+    parameterization CI uses), with ``--kw`` merged on top; the command
+    prints the aggregated span tree and the counter table, and ``--out``
+    additionally exports the raw trace (Chrome JSON or JSONL by suffix).
+    """
+    from .obs import (
+        TelemetryRecorder,
+        counter_table,
+        recording,
+        render_tree,
+        write_trace,
+    )
+
+    experiment = get_experiment(args.experiment_id)
+    overrides = dict(experiment.spec.smoke)
+    overrides.update(_parse_kwargs(args.kw))
+    engine = _build_engine(args)
+    start = time.time()
+    with recording(TelemetryRecorder()) as recorder:
+        report = run_with_engine(experiment, overrides, engine, args.exact)
+    elapsed = time.time() - start
+    print(f"[{experiment.experiment_id}] {report.title} (traced, {elapsed:.2f}s)")
+    print()
+    for line in render_tree(recorder):
+        print(line)
+    print()
+    for line in counter_table(recorder):
+        print(line)
+    if args.out is not None:
+        written = write_trace(recorder, args.out)
+        print()
+        print(f"trace written to {written}")
+    return 0
+
+
 def cmd_info() -> int:
     """Print the package / paper summary."""
     print(f"repro {__version__}")
@@ -378,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="record the run in (or serve it from) this run store",
     )
+    _add_trace_flag(run_parser)
     _add_engine_flags(run_parser)
     run_all_parser = sub.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument(
@@ -417,7 +496,25 @@ def main(argv: list[str] | None = None) -> int:
         help="execute at most N pending points (checkpoint/CI knob)",
     )
     _add_store_flag(sweep_parser)
+    _add_trace_flag(sweep_parser)
     _add_engine_flags(sweep_parser)
+    trace_parser = sub.add_parser(
+        "trace", help="run one experiment at smoke scale and show its trace"
+    )
+    trace_parser.add_argument("experiment_id")
+    trace_parser.add_argument(
+        "--kw", nargs="*", default=[], help="key=value overrides on smoke params"
+    )
+    trace_parser.add_argument(
+        "--exact", action="store_true", help="Fraction mode where supported"
+    )
+    trace_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also export the trace (.json Chrome trace, .jsonl events)",
+    )
+    _add_engine_flags(trace_parser)
     report_parser = sub.add_parser(
         "report", help="render REPORT.md from stored run records"
     )
@@ -464,15 +561,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(
-            args.experiment_id, _parse_kwargs(args.kw), args.json,
-            engine=_build_engine(args), exact=args.exact,
-            store_dir=args.store,
-        )
+        with _tracing(args.trace):
+            return cmd_run(
+                args.experiment_id, _parse_kwargs(args.kw), args.json,
+                engine=_build_engine(args), exact=args.exact,
+                store_dir=args.store,
+            )
     if args.command == "run-all":
         return cmd_run_all(engine=_build_engine(args), exact=args.exact)
     if args.command == "sweep":
-        return cmd_sweep(args)
+        with _tracing(args.trace):
+            return cmd_sweep(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     if args.command == "report":
         return cmd_report(args)
     if args.command == "runs":

@@ -1,9 +1,10 @@
 """Execution engine: batched, parallel, cache-aware protocol runs.
 
-Infrastructure layer with no dependency on the rest of the package —
+Infrastructure layer depending only on :mod:`repro.obs` (telemetry) —
 ``model``, ``lowerbound``, and ``experiments`` all sit on top of it.
 See ``docs/engine.md`` for the backend, determinism, and cache-key
-contracts.
+contracts, and ``docs/observability.md`` for how trial batches are
+traced and merged.
 """
 
 from .backends import (

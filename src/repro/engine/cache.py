@@ -37,6 +37,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, TypeVar
 
+from .. import obs
+from ..obs import (
+    CACHE_BYPASSES,
+    CACHE_DISK_HITS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_STORES,
+)
+
 T = TypeVar("T")
 
 #: Bump to invalidate every existing key (schema/representation changes).
@@ -93,9 +102,12 @@ class CacheStats:
         return (self.hits, self.misses, self.disk_hits, self.stores, self.bypasses)
 
     def summary(self) -> str:
+        """One human line of traffic; ``0 hits / 0 misses`` when untouched."""
         parts = [f"{self.hits} hits", f"{self.misses} misses"]
         if self.disk_hits:
             parts.append(f"{self.disk_hits} disk")
+        if self.stores:
+            parts.append(f"{self.stores} stored")
         if self.bypasses:
             parts.append(f"{self.bypasses} bypassed")
         return " / ".join(parts)
@@ -128,27 +140,39 @@ class ConstructionCache:
     # Core API
     # ------------------------------------------------------------------
     def get_or_build(self, parts: tuple, builder: Callable[[], T]) -> T:
-        """The object addressed by ``parts``, building it on first use."""
+        """The object addressed by ``parts``, building it on first use.
+
+        Every event goes through :meth:`_record`, which keeps the
+        legacy ``stats`` counters and emits the telemetry counter of
+        the same name — one accounting path, two sinks.
+        """
         if not self.enabled:
-            self.stats.bypasses += 1
+            self._record("bypasses", CACHE_BYPASSES)
             return builder()
         key = cache_key(parts)
         if key in self._memory:
-            self.stats.hits += 1
+            self._record("hits", CACHE_HITS)
             self._memory.move_to_end(key)
             return self._memory[key]
         value = self._load_from_disk(key)
         if value is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
+            self._record("hits", CACHE_HITS)
+            self._record("disk_hits", CACHE_DISK_HITS)
             self._remember(key, value)
             return value
-        self.stats.misses += 1
+        self._record("misses", CACHE_MISSES)
         value = builder()
         self._remember(key, value)
         self._store_to_disk(key, value)
-        self.stats.stores += 1
+        self._record("stores", CACHE_STORES)
         return value
+
+    def _record(self, stat: str, counter: str) -> None:
+        """Bump one ``CacheStats`` field and its telemetry counter."""
+        setattr(self.stats, stat, getattr(self.stats, stat) + 1)
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.count(counter)
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""

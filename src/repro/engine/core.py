@@ -23,6 +23,8 @@ import time
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from .. import obs
+from ..obs import ENGINE_TRIALS
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -31,7 +33,13 @@ from .backends import (
     in_worker_process,
 )
 from .cache import ConstructionCache, construction_cache
-from .plan import BatchResult, TrialPlan, TrialResult, execute_task
+from .plan import (
+    BatchResult,
+    TrialPlan,
+    TrialResult,
+    execute_task,
+    execute_traced_task,
+)
 
 #: In auto mode, batches smaller than this stay serial.
 AUTO_PARALLEL_THRESHOLD = 32
@@ -102,26 +110,94 @@ class ExecutionEngine:
     # Execution
     # ------------------------------------------------------------------
     def run_trials(self, plan: TrialPlan) -> BatchResult:
-        """Execute a trial plan; results are backend-independent."""
-        tasks = plan.tasks()
-        backend = self.backend_for(len(tasks))
+        """Execute a trial plan; results are backend-independent.
+
+        With telemetry enabled, every task runs under a task-local
+        recorder (on every backend) and the snapshots merge here, at
+        the barrier, in task order — counter totals are therefore
+        bit-identical between serial and pooled execution, and span
+        trees differ only in timings.  Merged trial spans are rebased
+        onto a sequential timeline inside the ``engine.dispatch`` span.
+        """
         start = time.perf_counter()
-        results: list[TrialResult] = backend.map(execute_task, tasks)
-        wall = time.perf_counter() - start
+        with obs.span("engine.plan", trials=plan.trials, namespace=plan.namespace):
+            tasks = plan.tasks()
+        plan_time = time.perf_counter() - start
+        backend = self.backend_for(len(tasks))
+        obs.count(ENGINE_TRIALS, len(tasks))
+        recorder = obs.active()
+        dispatch_start = time.perf_counter()
+        if recorder is None:
+            results: list[TrialResult] = backend.map(execute_task, tasks)
+        else:
+            with obs.span(
+                "engine.dispatch", backend=backend.name, tasks=len(tasks)
+            ) as dispatch:
+                pairs = backend.map(execute_traced_task, tasks)
+                results = []
+                offset = dispatch.start
+                for result, snapshot in pairs:
+                    recorder.merge_snapshot(
+                        snapshot, parent_id=dispatch.span_id, time_offset=offset
+                    )
+                    offset += _snapshot_extent(snapshot)
+                    results.append(result)
+        dispatch_time = time.perf_counter() - dispatch_start
         return BatchResult(
-            results=tuple(results), wall_time=wall, backend_name=backend.name
+            results=tuple(results),
+            wall_time=time.perf_counter() - start,
+            backend_name=backend.name,
+            plan_time=plan_time,
+            dispatch_time=dispatch_time,
         )
+
+    def _map_traced(self, fn, items, backend) -> list[Any]:
+        """Ordered traced map: item-local recorders merged in item order."""
+        recorder = obs.active()
+        with obs.span(
+            "engine.map", backend=backend.name, items=len(items)
+        ) as dispatch:
+            pairs = backend.map(_traced_map_item, [(fn, item) for item in items])
+            results = []
+            offset = dispatch.start
+            for result, snapshot in pairs:
+                recorder.merge_snapshot(
+                    snapshot, parent_id=dispatch.span_id, time_offset=offset
+                )
+                offset += _snapshot_extent(snapshot)
+                results.append(result)
+        return results
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Ordered map of ``fn`` over prebuilt items (no seed derivation)."""
         items = list(items)
-        return self.backend_for(len(items)).map(fn, items)
+        backend = self.backend_for(len(items))
+        if obs.active() is not None:
+            return self._map_traced(fn, items, backend)
+        return backend.map(fn, items)
 
     def close(self) -> None:
         """Shut down any pool this engine spawned."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+
+def _snapshot_extent(snapshot: dict) -> float:
+    """How much timeline a merged snapshot occupies (its furthest end)."""
+    return max(
+        (start + max(duration, 0.0) for *_ignored, start, duration in snapshot["spans"]),
+        default=0.0,
+    )
+
+
+def _traced_map_item(pair: tuple) -> tuple[Any, dict]:
+    """Run one map item under an item-local recorder (pool-picklable)."""
+    fn, item = pair
+    with obs.recording(obs.TelemetryRecorder()) as recorder:
+        with obs.span("engine.item"):
+            result = fn(item)
+        return result, recorder.snapshot()
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import TelemetryRecorder, recording, span
 from .seeds import trial_seed
 
 
@@ -61,11 +62,19 @@ class TrialResult:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """All trial results of one plan, plus execution metadata."""
+    """All trial results of one plan, plus execution metadata.
+
+    ``wall_time`` covers the whole batch; ``plan_time`` (materializing
+    seeds and task tuples) and ``dispatch_time`` (the backend map,
+    including any telemetry merge) split it so setup cost is visible —
+    both default to 0.0 for constructors that never measured them.
+    """
 
     results: tuple[TrialResult, ...]
     wall_time: float
     backend_name: str
+    plan_time: float = 0.0
+    dispatch_time: float = 0.0
 
     @property
     def values(self) -> list[Any]:
@@ -80,3 +89,18 @@ def execute_task(task: tuple) -> TrialResult:
     """Run one task tuple (module-level so process pools can pickle it)."""
     fn, trial, seed, args = task
     return TrialResult(trial=trial, seed=seed, value=fn(trial, seed, *args))
+
+
+def execute_traced_task(task: tuple) -> tuple[TrialResult, dict]:
+    """Run one task under a fresh task-local recorder.
+
+    Used by the engine whenever telemetry is enabled — on *every*
+    backend, so serial and pooled runs produce identical span trees.
+    The task's spans and counters come back as a picklable snapshot the
+    engine merges at the barrier in task order, making counter totals
+    independent of scheduling.
+    """
+    with recording(TelemetryRecorder()) as recorder:
+        with span("engine.trial", trial=task[1]):
+            result = execute_task(task)
+        return result, recorder.snapshot()

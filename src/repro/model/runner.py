@@ -14,8 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from .. import obs
 from ..engine import ExecutionEngine, TrialPlan, resolve_engine
 from ..graphs import FrozenGraph, GraphLike
+from ..obs import TRANSCRIPT_BITS, TRANSCRIPT_MESSAGES
 from .coins import PublicCoins
 from .messages import Message, assert_packed_accounting
 from .protocol import AdaptiveProtocol, BatchSketchProtocol, SketchProtocol
@@ -43,6 +45,34 @@ def set_batch_sketching(enabled: bool) -> bool:
 def batch_sketching_enabled() -> bool:
     """Whether ``run_protocol`` may take the batched fast path."""
     return _BATCH_SKETCHING
+
+
+def charge_transcript(
+    transcript: "Transcript", protocol_name: str, round_index: int | None = None
+) -> None:
+    """Emit the communication counters of one referee delivery.
+
+    Charged at the runner boundary (not inside ``Transcript``, which
+    analysis code also constructs) so telemetry counts exactly the bits
+    a protocol execution sent against the referee: per player, per
+    protocol, and per round for adaptive runs.  A no-op when telemetry
+    is disabled.
+    """
+    recorder = obs.active()
+    if recorder is None:
+        return
+    extra = () if round_index is None else (("round", round_index),)
+    for player, message in transcript.sketches.items():
+        recorder.count(
+            TRANSCRIPT_BITS,
+            message.num_bits,
+            (("player", player), ("protocol", protocol_name), *extra),
+        )
+    recorder.count(
+        TRANSCRIPT_MESSAGES,
+        len(transcript.sketches),
+        (("protocol", protocol_name), *extra),
+    )
 
 
 @dataclass(frozen=True)
@@ -110,19 +140,25 @@ def run_protocol(
     """
     if n is None:
         n = graph.num_vertices()
-    if (
-        views is None
-        and _BATCH_SKETCHING
-        and isinstance(graph, FrozenGraph)
-        and isinstance(protocol, BatchSketchProtocol)
-    ):
-        sketches = protocol.sketch_batch(graph, n, coins)
-    else:
-        if views is None:
-            views = views_of(graph, n=n)
-        sketches = {v: protocol.sketch(view, coins) for v, view in views.items()}
-    transcript = Transcript(sketches=sketches)
-    output = protocol.decode(n, sketches, coins)
+    with obs.span("protocol.sketch", protocol=protocol.name, players=n):
+        if (
+            views is None
+            and _BATCH_SKETCHING
+            and isinstance(graph, FrozenGraph)
+            and isinstance(protocol, BatchSketchProtocol)
+        ):
+            sketches = protocol.sketch_batch(graph, n, coins)
+        else:
+            if views is None:
+                views = views_of(graph, n=n)
+            sketches = {
+                v: protocol.sketch(view, coins) for v, view in views.items()
+            }
+    with obs.span("protocol.transcript", protocol=protocol.name):
+        transcript = Transcript(sketches=sketches)
+        charge_transcript(transcript, protocol.name)
+    with obs.span("protocol.decode", protocol=protocol.name):
+        output = protocol.decode(n, sketches, coins)
     return ProtocolRun(output=output, transcript=transcript)
 
 
@@ -162,12 +198,19 @@ def run_adaptive_protocol(
     transcripts: list[Transcript] = []
     result: Any = None
     for round_index in range(protocol.num_rounds):
-        sketches = {
-            v: protocol.sketch(view, coins, round_index, broadcasts)
-            for v, view in views.items()
-        }
-        transcripts.append(Transcript(sketches=sketches))
-        result = protocol.referee_round(n, round_index, sketches, coins, broadcasts)
+        with obs.span(
+            "protocol.round", protocol=protocol.name, round=round_index
+        ):
+            sketches = {
+                v: protocol.sketch(view, coins, round_index, broadcasts)
+                for v, view in views.items()
+            }
+            transcript = Transcript(sketches=sketches)
+            charge_transcript(transcript, protocol.name, round_index)
+            transcripts.append(transcript)
+            result = protocol.referee_round(
+                n, round_index, sketches, coins, broadcasts
+            )
         if round_index < protocol.num_rounds - 1:
             broadcasts.append(result)
     return AdaptiveRun(

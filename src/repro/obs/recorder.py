@@ -1,0 +1,285 @@
+"""Hierarchical spans and typed counters behind one process recorder.
+
+The design constraint is the *disabled* path: instrumentation is wired
+permanently into hot paths (the trial loop, the transcript boundary,
+the sketch codec, the construction cache), so with no recorder
+installed every probe must collapse to one module-global load and an
+``is None`` test — no allocation, no context-manager generator, no
+string formatting.  :func:`span` returns a shared no-op handle and
+:func:`count` returns immediately when telemetry is off.
+
+With a :class:`TelemetryRecorder` installed (``set_recorder`` /
+``recording``), probes append :class:`SpanRecord` s — name, attributes,
+monotonic start and duration, parent id — and accumulate integer
+counters keyed by ``(name, sorted labels)``.  Counter names must be
+declared in :mod:`repro.obs.counters`; the taxonomy check runs only on
+the enabled path.
+
+Recorders are process-local.  Work fanned out to pool workers runs
+under a fresh worker-local recorder whose :meth:`TelemetryRecorder.
+snapshot` travels back with the result; the parent merges snapshots
+**in task order** at the barrier (:meth:`TelemetryRecorder.
+merge_snapshot`), so counter totals — integer sums — are bit-identical
+to a serial run, and span trees are identical because the serial
+backend routes through the same wrapper.  Merged span times are
+rebased onto a canonical sequential timeline (trial i starts where
+trial i-1 ended), which keeps exported per-track timestamps monotonic
+regardless of how the pool actually interleaved the work.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .counters import COUNTERS
+
+#: Label tuples are ``((key, value), ...)`` sorted by key.
+LabelItems = tuple
+
+
+@dataclass
+class SpanRecord:
+    """One recorded span: identity, position in the tree, and timing.
+
+    ``start`` is seconds since the owning recorder's monotonic origin;
+    ``duration`` is ``-1.0`` while the span is open.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attrs: dict
+    start: float
+    duration: float = -1.0
+
+
+class TelemetryRecorder:
+    """Collects spans and counters for one recording scope."""
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self.origin = self._clock()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[tuple[str, LabelItems], int] = {}
+        self._stack: list[SpanRecord] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since this recorder's monotonic origin."""
+        return self._clock() - self.origin
+
+    @property
+    def current_span_id(self) -> int | None:
+        """The innermost open span's id, or None at the root."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def start_span(self, name: str, attrs: dict | None = None) -> SpanRecord:
+        """Open a span under the current one; pair with :meth:`end_span`."""
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=self.current_span_id,
+            name=name,
+            attrs=attrs or {},
+            start=self.elapsed(),
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record)
+        return record
+
+    def end_span(self, record: SpanRecord) -> None:
+        """Close a span (and, defensively, anything left open inside it)."""
+        end = self.elapsed()
+        while self._stack:
+            top = self._stack.pop()
+            if top.duration < 0.0:
+                top.duration = end - top.start
+            if top is record:
+                return
+        raise ValueError(f"span {record.name!r} is not open")
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: int = 1, labels: LabelItems = ()) -> None:
+        """Add ``value`` to a declared counter at one label combination."""
+        if name not in COUNTERS:
+            raise KeyError(
+                f"undeclared counter {name!r}; declared: {sorted(COUNTERS)}"
+            )
+        key = (name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def totals(self) -> dict[str, int]:
+        """Per-name totals, summed over every label combination."""
+        out: dict[str, int] = {}
+        for (name, _labels), value in self.counters.items():
+            out[name] = out.get(name, 0) + value
+        return dict(sorted(out.items()))
+
+    def series(self, name: str) -> dict[LabelItems, int]:
+        """One counter's per-label values, sorted by label items."""
+        rows = {
+            labels: value
+            for (n, labels), value in self.counters.items()
+            if n == name
+        }
+        return dict(sorted(rows.items(), key=lambda kv: repr(kv[0])))
+
+    # ------------------------------------------------------------------
+    # Snapshots: the picklable form that crosses the pool boundary
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable copy of everything recorded so far.
+
+        Open spans are snapshotted with their duration-so-far, so a
+        snapshot taken at the end of a task is always fully closed.
+        """
+        now = self.elapsed()
+        return {
+            "spans": [
+                (
+                    s.span_id,
+                    s.parent_id,
+                    s.name,
+                    dict(s.attrs),
+                    s.start,
+                    s.duration if s.duration >= 0.0 else now - s.start,
+                )
+                for s in self.spans
+            ],
+            "counters": dict(self.counters),
+        }
+
+    def merge_snapshot(
+        self,
+        snap: dict,
+        parent_id: int | None = None,
+        time_offset: float | None = None,
+    ) -> None:
+        """Graft another recorder's snapshot into this one.
+
+        Span ids are remapped past this recorder's id space; root spans
+        of the snapshot are attached under ``parent_id`` (default: the
+        currently open span); all times shift by ``time_offset``
+        (default: now).  Counter totals add — integer sums, so merge
+        order cannot change them — while span order follows the call
+        order, which the engine keeps deterministic (task order).
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        if time_offset is None:
+            time_offset = self.elapsed()
+        id_map: dict[int, int] = {}
+        for span_id, parent, name, attrs, start, duration in snap["spans"]:
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[span_id] = new_id
+            self.spans.append(
+                SpanRecord(
+                    span_id=new_id,
+                    parent_id=id_map.get(parent, parent_id),
+                    name=name,
+                    attrs=dict(attrs),
+                    start=start + time_offset,
+                    duration=duration,
+                )
+            )
+        for key, value in snap["counters"].items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+
+# ----------------------------------------------------------------------
+# The process-global recorder and the zero-overhead probe API
+# ----------------------------------------------------------------------
+_ACTIVE: TelemetryRecorder | None = None
+
+
+def active() -> TelemetryRecorder | None:
+    """The installed recorder, or None when telemetry is disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when a recorder is installed."""
+    return _ACTIVE is not None
+
+
+def set_recorder(
+    recorder: TelemetryRecorder | None,
+) -> TelemetryRecorder | None:
+    """Install (or, with None, remove) the recorder; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+class _NullSpan:
+    """The shared no-op handle the disabled path hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager opening one span on a live recorder."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_record")
+
+    def __init__(self, recorder: TelemetryRecorder, name: str, attrs: dict):
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> SpanRecord:
+        self._record = self._recorder.start_span(self._name, self._attrs)
+        return self._record
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder.end_span(self._record)
+        return False
+
+
+def span(name: str, **attrs):
+    """A span context manager — a shared no-op when telemetry is off."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return _SpanHandle(recorder, name, attrs)
+
+
+def count(name: str, value: int = 1, **labels) -> None:
+    """Add to a declared counter — a no-op when telemetry is off."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(name, value, tuple(sorted(labels.items())))
+
+
+@contextmanager
+def recording(recorder: TelemetryRecorder | None = None):
+    """Install a (fresh, by default) recorder for the enclosed block.
+
+    The previous recorder is restored on exit, so recordings nest: the
+    engine's traced task wrapper uses this to give every task its own
+    recorder without disturbing the caller's.
+    """
+    recorder = recorder if recorder is not None else TelemetryRecorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

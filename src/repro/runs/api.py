@@ -28,7 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from .. import __version__
+from .. import __version__, obs
 from ..engine import (
     ExecutionEngine,
     configure_cache,
@@ -36,6 +36,7 @@ from ..engine import (
     set_default_engine,
     workers_from_env,
 )
+from ..obs import TelemetryRecorder, telemetry_summary
 from .spec import canonical_params, run_key
 from .store import RunRecord, RunStore
 
@@ -156,6 +157,7 @@ def execute_run(
     exact: bool = False,
     store: RunStore | None = None,
     reuse: bool = True,
+    telemetry: bool = True,
 ) -> RunOutcome:
     """Run one experiment durably: content-address, reuse, or execute.
 
@@ -164,6 +166,14 @@ def execute_run(
     runs and the new record is appended.  Without a store the run still
     produces a full in-memory record (the sweep workers use this and
     let the orchestrating process write).
+
+    Unless ``telemetry=False``, the experiment executes under a
+    run-local :class:`~repro.obs.TelemetryRecorder` and the record
+    carries the resulting summary block (counter totals, bits per
+    player, heaviest span paths) as provenance.  When an outer recorder
+    is already installed (a ``--trace`` invocation), the run's spans
+    and counters are additionally merged into it, so the exported trace
+    and the stored summary report the same totals.
     """
     from ..experiments import get_experiment
 
@@ -178,9 +188,22 @@ def execute_run(
             return RunOutcome(record=existing, executed=False)
     engine = resolve_engine(engine)
     before = engine.cache.stats.snapshot()
+    outer = obs.active()
+    recorder = TelemetryRecorder() if telemetry else None
+    previous = obs.set_recorder(recorder) if telemetry else None
     start = time.perf_counter()
-    report = experiment.run(engine=engine, exact=exact, **resolved)
+    try:
+        with obs.span("run", experiment=experiment_id):
+            report = experiment.run(engine=engine, exact=exact, **resolved)
+    finally:
+        if telemetry:
+            obs.set_recorder(previous)
     elapsed = time.perf_counter() - start
+    summary = None
+    if recorder is not None:
+        summary = telemetry_summary(recorder)
+        if outer is not None:
+            outer.merge_snapshot(recorder.snapshot())
     after = engine.cache.stats.snapshot()
     record = RunRecord(
         key=key,
@@ -197,6 +220,7 @@ def execute_run(
         lines=tuple(report.lines),
         data=ensure_json_data(report.data, experiment_id),
         created=time.time(),
+        telemetry=summary,
     )
     if store is not None:
         store.put(record)

@@ -126,9 +126,33 @@ def format_record(record: RunRecord) -> list[str]:
         f"wall time  : {record.wall_time:.3f}s",
         f"cache      : {record.cache_hits} hits / {record.cache_misses} misses",
         f"data       : {canonical_json(record.data)}",
-        "",
-        record.render(),
     ]
+    out.extend(format_telemetry_block(record.telemetry))
+    out.append("")
+    out.append(record.render())
+    return out
+
+
+def format_telemetry_block(telemetry: dict | None) -> list[str]:
+    """The stored telemetry summary as ``repro runs show`` lines.
+
+    Mirrors the live counter table: per-name totals first, then the
+    labeled detail rows (bits per player and friends), then the
+    heaviest span paths.  Empty for pre-telemetry records.
+    """
+    if not telemetry:
+        return []
+    out = ["telemetry  :"]
+    for name, value in sorted((telemetry.get("counters") or {}).items()):
+        out.append(f"  {name} = {value}")
+    detail = telemetry.get("detail") or {}
+    for key in sorted(detail):
+        out.append(f"    {key} = {detail[key]}")
+    spans = telemetry.get("top_spans") or []
+    if spans:
+        out.append(f"  spans ({telemetry.get('span_count', 0)} total):")
+        for path, count, seconds in spans:
+            out.append(f"    {path}  x{count}  {seconds:.4f}s")
     return out
 
 

@@ -36,6 +36,8 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
+from ..obs import STORE_BYTES, STORE_RECORDS
 from .spec import canonical_json
 
 #: Bump when the record payload schema changes incompatibly.
@@ -49,7 +51,14 @@ _SAFE_ID = re.compile(r"[^A-Za-z0-9._-]")
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One durable experiment run: identity, provenance, cost, results."""
+    """One durable experiment run: identity, provenance, cost, results.
+
+    ``telemetry`` is the run's summary block (per-name counter totals,
+    per-label detail such as bits per player, heaviest span paths) —
+    see :func:`repro.obs.telemetry_summary`.  ``None`` for records
+    written before the telemetry subsystem existed; the store reads
+    both forms.
+    """
 
     key: str
     experiment_id: str
@@ -65,6 +74,7 @@ class RunRecord:
     lines: tuple[str, ...]
     data: dict
     created: float
+    telemetry: dict | None = None
 
     def to_payload(self) -> dict:
         """The JSON payload one manifest line carries."""
@@ -84,6 +94,7 @@ class RunRecord:
             "lines": list(self.lines),
             "data": self.data,
             "created": self.created,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -104,6 +115,7 @@ class RunRecord:
             lines=tuple(payload["lines"]),
             data=payload["data"],
             created=payload["created"],
+            telemetry=payload.get("telemetry"),
         )
 
     def render(self) -> str:
@@ -230,7 +242,12 @@ class RunStore:
             "record": payload,
         }
         self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(frame, sort_keys=True) + "\n"
         with self.path_for(record.experiment_id).open("a") as fh:
-            fh.write(json.dumps(frame, sort_keys=True) + "\n")
+            fh.write(line)
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.count(STORE_RECORDS)
+            recorder.count(STORE_BYTES, len(line.encode()))
         self._load()[record.key] = record
         return record.key

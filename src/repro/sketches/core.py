@@ -42,8 +42,10 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 from functools import cached_property, lru_cache
 
+from .. import obs
 from ..engine import construction_cache
 from ..graphs import FrozenGraph
+from ..obs import SKETCH_BYTES, SKETCH_CELLS_PACKED, SKETCH_CELLS_UNPACKED
 from ..model import (
     BitReader,
     BitWriter,
@@ -393,6 +395,10 @@ class L0FamilyState(LinearSketch):
             )
         ]
         writer.write_uint(_pack_cells(chunks, p.level_width), p.num_bits)
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.count(SKETCH_CELLS_PACKED, p.num_cells)
+            recorder.count(SKETCH_BYTES, (p.num_bits + 7) // 8)
 
     def _check_ranges(self) -> None:
         """Validate every cell fits its encode width.
@@ -454,6 +460,9 @@ class L0FamilyState(LinearSketch):
             state.index_sums,
             state.fingerprints,
         )
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.count(SKETCH_CELLS_UNPACKED, params.num_cells)
         chunks = _unpack_cells(word, params.num_cells, params.level_width)
         for cell, chunk in enumerate(chunks):
             total = (chunk >> (iw + fw)) & t_mask
@@ -579,6 +588,15 @@ class SketchFamily:
 
     def build_states(self, graph: FrozenGraph, n: int) -> dict[int, L0FamilyState]:
         """Every player's family state, one CSR pass."""
+        with obs.span(
+            "sketch.build",
+            labels=self.params.num_labels,
+            n=n,
+            edges=graph.num_edges(),
+        ):
+            return self._build_states(graph, n)
+
+    def _build_states(self, graph: FrozenGraph, n: int) -> dict[int, L0FamilyState]:
         p = self.params
         states = {v: L0FamilyState(p) for v in graph.sorted_vertices()}
         num_levels, q, universe = p.num_levels, p.q, p.universe
@@ -652,7 +670,10 @@ class SketchFamily:
     def encode_states(
         self, states: Mapping[int, L0FamilyState], *, check: bool = True
     ) -> dict[int, Message]:
-        return {v: state.to_message(check=check) for v, state in states.items()}
+        with obs.span("sketch.encode", states=len(states)):
+            return {
+                v: state.to_message(check=check) for v, state in states.items()
+            }
 
     def bounds_cover(self, graph: FrozenGraph) -> bool:
         """True when every incidence state built from ``graph`` provably
@@ -694,10 +715,11 @@ class SketchFamily:
     ) -> dict[int, L0FamilyState]:
         """Decode every player's message (which must hold exactly this
         family's bits) into columnar states."""
-        return {
-            v: L0FamilyState.decode(m.reader(), self.params)
-            for v, m in sketches.items()
-        }
+        with obs.span("sketch.decode", states=len(sketches)):
+            return {
+                v: L0FamilyState.decode(m.reader(), self.params)
+                for v, m in sketches.items()
+            }
 
     def block(self, label: str | int) -> L0Block:
         """A fresh referee accumulator for one label (by name or index)."""

@@ -1,0 +1,117 @@
+"""CLI surface of the telemetry subsystem.
+
+``repro trace EXP`` runs an experiment at its declared smoke scale and
+prints the aggregated span tree plus the counter table; ``repro run
+--trace PATH`` exports a validating Chrome trace (or JSONL log) of the
+whole invocation; with ``--store`` the stored record's telemetry block
+shows the same totals in ``repro runs show``.
+"""
+
+import json
+
+from repro import obs
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+from repro.runs import RunStore
+from repro.runs.report import format_telemetry_block
+
+
+def _total(counters: dict, name: str) -> int:
+    """Sum one counter's exported series (bare name + labeled keys)."""
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+class TestTraceCommand:
+    def test_trace_prints_tree_and_counters(self, capsys):
+        assert main(["trace", "T1b"]) == 0
+        out = capsys.readouterr().out
+        assert "(traced" in out
+        assert "engine.map" in out or "engine.dispatch" in out
+        assert "transcript.bits" in out and "player=" in out
+
+    def test_trace_exports_a_valid_chrome_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "T1b", "--out", str(out_path)]) == 0
+        info = validate_chrome_trace(out_path)
+        assert info["events"] > 0
+        assert any(n.startswith("protocol.") for n in info["names"])
+        assert _total(info["counters"], "transcript.bits") > 0
+
+    def test_trace_accepts_overrides(self, capsys):
+        assert main(["trace", "T1b", "--kw", "m=8", "k=2", "trials=1"]) == 0
+        assert "transcript.bits" in capsys.readouterr().out
+
+    def test_no_recorder_leaks_after_tracing(self, capsys):
+        assert main(["trace", "T1b"]) == 0
+        assert obs.active() is None
+
+
+class TestTraceFlag:
+    def test_run_trace_exports_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "events.jsonl"
+        assert main(
+            ["run", "T1b", "--kw", "m=8", "k=2", "trials=1",
+             "--trace", str(out_path)]
+        ) == 0
+        assert "(trace:" in capsys.readouterr().out
+        events = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert events[0]["type"] == "meta"
+        assert any(e["type"] == "counter" for e in events)
+
+    def test_run_trace_and_store_report_the_same_totals(
+        self, capsys, tmp_path
+    ):
+        trace_path = tmp_path / "trace.json"
+        store_root = tmp_path / "runs"
+        assert main(
+            ["run", "T1b", "--kw", "m=8", "k=2", "trials=1",
+             "--store", str(store_root), "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        info = validate_chrome_trace(trace_path)
+        record = next(iter(RunStore(store_root).records("T1b")))
+        stored = record.telemetry["counters"]
+        # The run's counters appear identically in the exported trace
+        # (modulo the store.* counters emitted while writing the record
+        # itself, which post-date the record's own summary).
+        for name in ("transcript.bits", "transcript.messages"):
+            assert _total(info["counters"], name) == stored[name]
+        assert _total(info["counters"], "store.records") == 1
+        assert main(["runs", "show", record.key[:12],
+                     "--store", str(store_root)]) == 0
+        shown = capsys.readouterr().out
+        assert "telemetry  :" in shown
+        assert f"transcript.bits = {stored['transcript.bits']}" in shown
+        assert "player=" in shown
+
+    def test_sweep_trace_flag(self, capsys, tmp_path):
+        trace_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "F1", "--grid", "m=8,10", "--store",
+             str(tmp_path / "runs"), "--trace", str(trace_path)]
+        ) == 0
+        assert "(trace:" in capsys.readouterr().out
+        info = validate_chrome_trace(trace_path)
+        assert _total(info["counters"], "store.records") == 2
+
+
+class TestStoredTelemetryRendering:
+    def test_format_telemetry_block_empty_for_legacy_records(self):
+        assert format_telemetry_block(None) == []
+        assert format_telemetry_block({}) == []
+
+    def test_format_telemetry_block_orders_counters(self):
+        block = {
+            "counters": {"engine.trials": 4, "cache.hits": 1},
+            "detail": {"transcript.bits{player=0}": 8},
+            "span_count": 3,
+            "top_spans": [["run>engine.plan", 1, 0.001]],
+        }
+        lines = format_telemetry_block(block)
+        assert lines[0] == "telemetry  :"
+        assert lines[1].strip().startswith("cache.hits")
+        assert any("run>engine.plan" in line for line in lines)
